@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks of the Cubrick engine hot paths: ingest,
+//! pruned scans, group-by aggregation, and the column codecs behind
+//! adaptive compression.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use cubrick::compression::CompressedBrick;
+use cubrick::encoding;
+use cubrick::query::{execute_partition, parse_query};
+use cubrick::schema::SchemaBuilder;
+use cubrick::store::PartitionData;
+use cubrick::value::{Row, Value};
+use scalewall_sim::SimRng;
+
+fn schema() -> Arc<cubrick::schema::Schema> {
+    Arc::new(
+        SchemaBuilder::new()
+            .int_dim("ds", 0, 365, 15)
+            .str_dim("entity", 10_000, 500)
+            .metric("clicks")
+            .metric("cost")
+            .build()
+            .unwrap(),
+    )
+}
+
+fn sample_rows(n: usize) -> Vec<Row> {
+    let mut rng = SimRng::new(7);
+    (0..n)
+        .map(|_| {
+            Row::new(
+                vec![
+                    Value::Int(rng.below(365) as i64),
+                    Value::Str(format!("e{}", rng.below(500))),
+                ],
+                vec![rng.below(100) as f64, rng.unit() * 10.0],
+            )
+        })
+        .collect()
+}
+
+fn loaded_partition(rows: &[Row]) -> PartitionData {
+    let mut p = PartitionData::new(schema());
+    for r in rows {
+        p.ingest(r).unwrap();
+    }
+    p
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let rows = sample_rows(10_000);
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.sample_size(20);
+    group.bench_function("rows_10k", |b| {
+        b.iter_batched(
+            || PartitionData::new(schema()),
+            |mut p| {
+                for r in &rows {
+                    p.ingest(r).unwrap();
+                }
+                p
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let rows = sample_rows(50_000);
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(rows.len() as u64));
+
+    let full = parse_query("select sum(clicks), count(*) from t").unwrap();
+    group.bench_function("full_scan_50k", |b| {
+        b.iter_batched(
+            || loaded_partition(&rows),
+            |mut p| execute_partition(&mut p, &full, 8).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Pruned: a narrow ds window touches ~1/24 of the bricks.
+    let pruned = parse_query("select sum(clicks) from t where ds between 100 and 110").unwrap();
+    group.bench_function("pruned_scan_50k", |b| {
+        b.iter_batched(
+            || loaded_partition(&rows),
+            |mut p| execute_partition(&mut p, &pruned, 8).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let grouped = parse_query("select sum(clicks), avg(cost) from t group by entity").unwrap();
+    group.bench_function("group_by_50k", |b| {
+        b.iter_batched(
+            || loaded_partition(&rows),
+            |mut p| execute_partition(&mut p, &grouped, 8).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut rng = SimRng::new(3);
+    let small_domain: Vec<u32> = (0..65_536).map(|_| rng.below(16) as u32).collect();
+    let monotonic: Vec<u32> = (0..65_536).collect();
+    let metrics: Vec<f64> = (0..65_536).map(|i| (i / 7) as f64).collect();
+
+    let mut group = c.benchmark_group("codecs");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(65_536));
+    group.bench_function("u32_auto_small_domain", |b| {
+        b.iter(|| encoding::encode_u32_auto(&small_domain))
+    });
+    group.bench_function("u32_auto_monotonic", |b| {
+        b.iter(|| encoding::encode_u32_auto(&monotonic))
+    });
+    let encoded = encoding::encode_u32_auto(&small_domain);
+    group.bench_function("u32_decode", |b| b.iter(|| encoding::decode_u32(&encoded)));
+    group.bench_function("f64_xor_encode", |b| {
+        b.iter(|| encoding::encode_f64(&metrics))
+    });
+    let encoded_f = encoding::encode_f64(&metrics);
+    group.bench_function("f64_xor_decode", |b| {
+        b.iter(|| encoding::decode_f64(&encoded_f))
+    });
+    group.finish();
+}
+
+fn bench_brick_compression(c: &mut Criterion) {
+    let rows = sample_rows(20_000);
+    let partition = loaded_partition(&rows);
+    // Extract one representative brick through a clone of the partition's
+    // data by compressing everything and measuring one round trip.
+    let mut group = c.benchmark_group("brick_compression");
+    group.sample_size(10);
+    group.bench_function("partition_20k_compress_all", |b| {
+        b.iter_batched(
+            || partition.clone(),
+            |mut p| {
+                let config = cubrick::hotness::MemoryMonitorConfig {
+                    budget_bytes: 0,
+                    ..Default::default()
+                };
+                p.run_memory_monitor(&config)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+    // One explicit brick round trip for reference.
+    let mut brick = cubrick::brick::Brick::new(2, 2);
+    let mut rng = SimRng::new(9);
+    for _ in 0..8_192 {
+        brick.push(&[rng.below(24) as u32, rng.below(20) as u32], &[1.0, 2.0]);
+    }
+    let mut group = c.benchmark_group("brick_roundtrip");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(8_192));
+    group.bench_function("compress_8k_rows", |b| {
+        b.iter(|| CompressedBrick::compress(brick.clone()))
+    });
+    let compressed = CompressedBrick::compress(brick);
+    group.bench_function("decompress_8k_rows", |b| b.iter(|| compressed.decompress()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_scan,
+    bench_codecs,
+    bench_brick_compression
+);
+criterion_main!(benches);

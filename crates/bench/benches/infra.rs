@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the infrastructure hot paths: shard
+//! mapping, SM placement/balancing, discovery resolution, the event
+//! queue, and latency histograms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cubrick::sharding::ShardMapping;
+use parking_lot::RwLock;
+use scalewall_discovery::{DelayModel, DelayModelConfig, DiscoveryClient, MappingStore, ShardKey};
+use scalewall_shard_manager::balancer::propose_rebalance;
+use scalewall_shard_manager::placement::{rank_candidates, HostSnapshot};
+use scalewall_shard_manager::{
+    BalancerConfig, HostId, HostInfo, HostState, Rack, Region, ShardId, SpreadDomain,
+};
+use scalewall_sim::{EventQueue, Histogram, SimRng, SimTime};
+use std::sync::Arc;
+
+fn bench_shard_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_mapping");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("monotonic_shard_of", |b| {
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 1) % 64;
+            ShardMapping::Monotonic.shard_of("ad_events_daily", p, 100_000)
+        })
+    });
+    group.bench_function("naive_shard_of", |b| {
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 1) % 64;
+            ShardMapping::Naive.shard_of("ad_events_daily", p, 100_000)
+        })
+    });
+    group.finish();
+}
+
+fn snapshots(n: u64) -> Vec<HostSnapshot> {
+    let mut rng = SimRng::new(5);
+    (0..n)
+        .map(|i| HostSnapshot {
+            info: HostInfo::new(HostId(i), Rack((i % 40) as u32), Region(0), 1_000.0),
+            state: HostState::Alive,
+            load: rng.unit() * 500.0,
+        })
+        .collect()
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let hosts = snapshots(1_000);
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(20);
+    group.bench_function("rank_1k_hosts", |b| {
+        b.iter(|| rank_candidates(&hosts, 10.0, 0.9, SpreadDomain::Host, &[], &[]))
+    });
+    group.finish();
+}
+
+fn bench_balancer(c: &mut Criterion) {
+    let hosts = snapshots(200);
+    let mut rng = SimRng::new(6);
+    let locations: Vec<(ShardId, HostId, f64)> = (0..5_000)
+        .map(|i| (ShardId(i), HostId(rng.below(200)), 1.0 + rng.unit() * 20.0))
+        .collect();
+    let config = BalancerConfig::default();
+    let mut group = c.benchmark_group("balancer");
+    group.sample_size(10);
+    group.bench_function("propose_200_hosts_5k_shards", |b| {
+        b.iter(|| propose_rebalance(&hosts, &locations, &config))
+    });
+    group.finish();
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let store = Arc::new(RwLock::new(MappingStore::new()));
+    for s in 0..10_000u64 {
+        store
+            .write()
+            .publish(ShardKey::new("cubrick", s), Some(s % 500), SimTime::ZERO);
+    }
+    let client = DiscoveryClient::new(store, DelayModel::new(DelayModelConfig::default()), 42);
+    let now = SimTime::from_secs(3_600);
+    let mut group = c.benchmark_group("discovery");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("resolve", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s = (s + 1) % 10_000;
+            client.resolve_host(&ShardKey::new("cubrick", s), now)
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut rng = SimRng::new(8);
+            for i in 0..10_000u64 {
+                q.schedule_at(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(ev) = q.pop() {
+                sum = sum.wrapping_add(ev.payload);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("record", |b| {
+        let mut h = Histogram::latency_ms();
+        let mut rng = SimRng::new(9);
+        b.iter(|| h.record(rng.unit() * 1_000.0))
+    });
+    let mut h = Histogram::latency_ms();
+    let mut rng = SimRng::new(10);
+    for _ in 0..100_000 {
+        h.record(rng.unit() * 1_000.0);
+    }
+    group.bench_function("quantile", |b| b.iter(|| h.quantile(0.999)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shard_mapping,
+    bench_placement,
+    bench_balancer,
+    bench_discovery,
+    bench_event_queue,
+    bench_histogram
+);
+criterion_main!(benches);

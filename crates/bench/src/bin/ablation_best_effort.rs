@@ -1,0 +1,10 @@
+//! Regenerates the accuracy-vs-availability ablation implemented by
+//! [`scalewall_bench::figures::best_effort_ablation`]. Pass `--fast`
+//! for smoke scale.
+fn main() {
+    let profile = scalewall_bench::Profile::from_args();
+    print!(
+        "{}",
+        scalewall_bench::figures::best_effort_ablation::run(profile)
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates the coordinator-selection ablation implemented by
+//! [`scalewall_bench::figures::coordinator_ablation`]. Pass `--fast`
+//! for smoke scale.
+fn main() {
+    let profile = scalewall_bench::Profile::from_args();
+    print!(
+        "{}",
+        scalewall_bench::figures::coordinator_ablation::run(profile)
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper artifact implemented by
+//! [`scalewall_bench::figures::graceful_ablation`]. Pass `--fast` for smoke scale.
+fn main() {
+    let profile = scalewall_bench::Profile::from_args();
+    print!(
+        "{}",
+        scalewall_bench::figures::graceful_ablation::run(profile)
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates every table and figure in paper order.
+//! Pass `--fast` for smoke scale.
+fn main() {
+    let profile = scalewall_bench::Profile::from_args();
+    print!("{}", scalewall_bench::figures::run_all(profile));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact implemented by
+//! [`scalewall_bench::figures::fig2`]. Pass `--fast` for smoke scale.
+fn main() {
+    let profile = scalewall_bench::Profile::from_args();
+    print!("{}", scalewall_bench::figures::fig2::run(profile));
+}

@@ -1,0 +1,74 @@
+//! **Figure 1** — query success ratio as more nodes must be visited,
+//! assuming servers fail with instantaneous probability 0.01 %, against a
+//! 99 % success SLA. The paper's headline: the wall sits at ~100 servers.
+//!
+//! Reproduced twice over: the analytic `(1-p)^n` curve and a Monte-Carlo
+//! simulation of the same Bernoulli process (the one the full cluster
+//! simulation uses), which must agree.
+
+use scalewall_cluster::report::{banner, fmt_f64, TextTable};
+use scalewall_cluster::wall::{simulate_success_ratio, success_ratio, wall_point};
+use scalewall_sim::SimRng;
+
+use crate::Profile;
+
+pub const FAILURE_P: f64 = 1e-4;
+pub const SLA: f64 = 0.99;
+
+pub fn run(profile: Profile) -> String {
+    let queries = profile.pick(20_000, 200_000);
+    let mut rng = SimRng::new(0xF161);
+    let mut table = TextTable::new(vec!["nodes", "analytic", "monte_carlo", "meets_99%_sla"]);
+    let mut crossed = None;
+    for &n in &[
+        1u64, 2, 5, 10, 20, 50, 75, 100, 101, 125, 150, 200, 300, 500, 1_000,
+    ] {
+        let analytic = success_ratio(n, FAILURE_P);
+        let simulated = simulate_success_ratio(n, FAILURE_P, queries, &mut rng);
+        let meets = analytic >= SLA;
+        if !meets && crossed.is_none() {
+            crossed = Some(n);
+        }
+        table.row(vec![
+            n.to_string(),
+            format!("{analytic:.5}"),
+            format!("{simulated:.5}"),
+            if meets { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    let wall = wall_point(FAILURE_P, SLA);
+    let mut out = banner(
+        "Figure 1",
+        "query success ratio vs nodes visited (p=0.01%, SLA=99%)",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nscalability wall: {} nodes (largest fan-out meeting the SLA)\n\
+         paper: \"will hit the scalability wall at about 100 servers\"\n\
+         sla threshold: {}\n",
+        wall,
+        fmt_f64(SLA)
+    ));
+    out.push_str("\nCSV:\n");
+    out.push_str(&table.to_csv());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_100_node_wall() {
+        let report = run(Profile::Fast);
+        assert!(
+            report.contains("scalability wall: 1"),
+            "wall ≈ 100: {report}"
+        );
+        let wall = wall_point(FAILURE_P, SLA);
+        assert!((95..=105).contains(&wall));
+        // The table flips from yes to NO around the wall.
+        assert!(report.contains("yes"));
+        assert!(report.contains("NO"));
+    }
+}

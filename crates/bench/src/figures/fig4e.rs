@@ -1,0 +1,87 @@
+//! **Figure 4e** — distribution of data blocks by their hot (red) vs
+//! cold (blue) counters after a week of skewed production traffic:
+//! recency-skewed queries touch a small fraction of bricks repeatedly
+//! while most of the data cools toward zero — the separation adaptive
+//! compression exploits.
+
+use scalewall_cluster::report::{banner, bar, TextTable};
+
+use crate::figures::fig4d::operational_stats;
+use crate::Profile;
+
+pub fn run(profile: Profile) -> String {
+    let stats = operational_stats(profile);
+    let threshold = stats.hot_threshold;
+    // Bucket counters: 0, 1, 2-3, 4-7, 8-15, 16+.
+    let bands: [(u32, u32); 6] = [(0, 0), (1, 1), (2, 3), (4, 7), (8, 15), (16, u32::MAX)];
+    let mut counts = [0usize; 6];
+    for &h in &stats.final_hotness {
+        for (i, &(lo, hi)) in bands.iter().enumerate() {
+            if h >= lo && h <= hi {
+                counts[i] += 1;
+                break;
+            }
+        }
+    }
+    let total = stats.final_hotness.len();
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut table = TextTable::new(vec!["counter", "bricks", "fraction", "class", "histogram"]);
+    for (&(lo, hi), &c) in bands.iter().zip(&counts) {
+        let label = if hi == u32::MAX {
+            format!("≥{lo}")
+        } else if lo == hi {
+            lo.to_string()
+        } else {
+            format!("{lo}–{hi}")
+        };
+        let class = if lo >= threshold { "hot" } else { "cold" };
+        table.row(vec![
+            label,
+            c.to_string(),
+            format!("{:.1}%", c as f64 / total.max(1) as f64 * 100.0),
+            class.to_string(),
+            bar(c as f64, max as f64, 40),
+        ]);
+    }
+    let (hot, cold) = stats.hot_cold_counts();
+    let mut out = banner(
+        "Figure 4e",
+        "hot vs cold data blocks after a week of traffic",
+    );
+    out.push_str(&format!(
+        "{total} bricks; hot threshold = counter ≥ {threshold}\n"
+    ));
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nhot: {hot} ({:.1}%), cold: {cold} ({:.1}%)\n",
+        hot as f64 / total.max(1) as f64 * 100.0,
+        cold as f64 / total.max(1) as f64 * 100.0
+    ));
+    out.push_str(
+        "paper: access patterns are skewed — recently loaded data is queried\n\
+         far more than old data, cleanly separating hot from cold blocks.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_bricks_cold_some_hot() {
+        let stats = operational_stats(Profile::Fast);
+        let (hot, cold) = stats.hot_cold_counts();
+        let total = hot + cold;
+        assert!(total > 0);
+        assert!(
+            cold as f64 / total as f64 > 0.5,
+            "cold majority expected: {cold}/{total}"
+        );
+        // Skewed traffic should heat at least a few bricks... unless the
+        // decay passes just ran; accept either but require *some* nonzero
+        // counters to prove touching happened.
+        let touched = stats.final_hotness.iter().filter(|&&h| h > 0).count();
+        assert!(touched > 0, "queries must have touched bricks");
+    }
+}

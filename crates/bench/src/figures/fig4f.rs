@@ -1,0 +1,62 @@
+//! **Figure 4f** — hosts sent to repair per day (permanent failures),
+//! all handled by the automation workflow with no human in the loop:
+//! heartbeat loss → failover → decommission → replacement registration.
+
+use scalewall_cluster::report::{banner, bar, TextTable};
+
+use crate::figures::fig4d::operational_stats;
+use crate::Profile;
+
+pub fn run(profile: Profile) -> String {
+    let stats = operational_stats(profile);
+    let max = stats
+        .repairs_per_day
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut table = TextTable::new(vec!["day", "hosts_to_repair", "histogram"]);
+    for (day, &count) in stats.repairs_per_day.iter().enumerate() {
+        table.row(vec![
+            day.to_string(),
+            count.to_string(),
+            bar(count as f64, max as f64, 40),
+        ]);
+    }
+    let total: u64 = stats.repairs_per_day.iter().sum();
+    let mut out = banner(
+        "Figure 4f",
+        "hosts sent to repair per day (permanent failures)",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\ntotal {total} permanent failures over {} days; drains requested {} \
+         (denied by safety checks: {})\n",
+        stats.repairs_per_day.len(),
+        stats.drains_requested,
+        stats.drains_denied,
+    ));
+    out.push_str(
+        "paper: a steady trickle of hosts fails permanently every day; all are\n\
+         drained/failed-over and replaced by automation without manual steps.\n",
+    );
+    out.push_str("\nCSV:\n");
+    out.push_str(&table.to_csv());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repairs_recorded_daily() {
+        let stats = operational_stats(Profile::Fast);
+        assert_eq!(stats.repairs_per_day.len(), 2);
+        // 24 hosts at 60-day MTBF over 2 days ⇒ expect ~0.8; don't demand
+        // nonzero (seeded randomness), but daily buckets must exist and
+        // drains must have been requested.
+        assert!(stats.drains_requested > 0);
+    }
+}

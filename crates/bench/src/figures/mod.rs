@@ -1,0 +1,49 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(profile) -> String`: the rendered report the binary prints.
+
+pub mod best_effort_ablation;
+pub mod coordinator_ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4a;
+pub mod fig4b;
+pub mod fig4c;
+pub mod fig4d;
+pub mod fig4e;
+pub mod fig4f;
+pub mod fig5;
+pub mod graceful_ablation;
+pub mod lb_ablation;
+pub mod tbl_mapping;
+pub mod wall_ablation;
+
+use crate::Profile;
+
+/// Run every figure, in paper order, concatenating the reports.
+pub fn run_all(profile: Profile) -> String {
+    type FigureFn = fn(Profile) -> String;
+    let runs: &[(&str, FigureFn)] = &[
+        ("fig1", fig1::run),
+        ("fig2", fig2::run),
+        ("tblA", tbl_mapping::run),
+        ("fig4a", fig4a::run),
+        ("fig4b", fig4b::run),
+        ("fig4c", fig4c::run),
+        ("fig4d", fig4d::run),
+        ("fig4e", fig4e::run),
+        ("fig4f", fig4f::run),
+        ("fig5", fig5::run),
+        ("wall*", wall_ablation::run),
+        ("grace*", graceful_ablation::run),
+        ("lb*", lb_ablation::run),
+        ("acc*", best_effort_ablation::run),
+        ("coord*", coordinator_ablation::run),
+    ];
+    let mut out = String::new();
+    for (name, f) in runs {
+        eprintln!("running {name}...");
+        out.push_str(&f(profile));
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,58 @@
+//! Experiment harness: one module (and one binary) per table/figure of
+//! the paper's evaluation, plus ablations of design decisions.
+//!
+//! Run a figure:
+//!
+//! ```text
+//! cargo run --release -p scalewall-bench --bin fig5_fanout_latency
+//! cargo run --release -p scalewall-bench --bin fig5_fanout_latency -- --fast
+//! cargo run --release -p scalewall-bench --bin all_figures -- --fast
+//! ```
+//!
+//! `--fast` shrinks every experiment to smoke-test scale (it is also what
+//! the test suite runs). Full scale reproduces the shapes reported in
+//! EXPERIMENTS.md.
+//!
+//! Criterion micro-benchmarks of the engine hot paths live in
+//! `benches/`.
+
+pub mod figures;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Smoke-test scale: seconds of wall time.
+    Fast,
+    /// Paper scale: the shapes quoted in EXPERIMENTS.md.
+    Full,
+}
+
+impl Profile {
+    /// Parse from process args: `--fast` selects [`Profile::Fast`].
+    pub fn from_args() -> Profile {
+        if std::env::args().any(|a| a == "--fast") {
+            Profile::Fast
+        } else {
+            Profile::Full
+        }
+    }
+
+    /// Pick a scale-dependent value.
+    pub fn pick<T>(self, fast: T, full: T) -> T {
+        match self {
+            Profile::Fast => fast,
+            Profile::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_profile() {
+        assert_eq!(Profile::Fast.pick(1, 2), 1);
+        assert_eq!(Profile::Full.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,793 @@
+//! The simulated multi-region deployment.
+//!
+//! Mirrors Cubrick's production topology (§IV-D): N regions (three in
+//! production), each holding a **full copy** of every table and running
+//! as an independent *primary-only* SM service. A shared catalog holds
+//! table metadata; each region has its own SM server, service-discovery
+//! view, region store and node registry.
+
+use std::sync::Arc;
+
+use cubrick::catalog::{shared_catalog, RowMapping, SharedCatalog, TableDef};
+use cubrick::error::{CubrickError, CubrickResult};
+use cubrick::metrics::MetricGeneration;
+use cubrick::node::{CubrickNode, NodeConfig, RegionStore, SharedRegionStore};
+use cubrick::schema::Schema;
+use cubrick::sharding::ShardMapping;
+use cubrick::store::PartitionData;
+use cubrick::value::Row;
+use parking_lot::RwLock;
+use scalewall_discovery::{DelayModel, DelayModelConfig, DiscoveryClient};
+use scalewall_shard_manager::{
+    AppSpec, BalancerConfig, HostId, HostInfo, Rack, Region, ShardId, SmConfig, SmServer,
+};
+use scalewall_sim::{SimRng, SimTime};
+
+use crate::registry::NodeRegistry;
+
+/// The SM application name each region registers.
+pub const APP: &str = "cubrick";
+
+/// Deployment-wide configuration.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    pub regions: u32,
+    pub hosts_per_region: u32,
+    pub racks_per_region: u32,
+    /// SM shard key space ("between 100k and 1M", scaled per experiment).
+    pub max_shards: u64,
+    pub host_memory_bytes: u64,
+    pub metric_generation: MetricGeneration,
+    pub balancer: BalancerConfig,
+    pub sm: SmConfig,
+    pub discovery_delay: DelayModelConfig,
+    pub seed: u64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            regions: 3,
+            hosts_per_region: 16,
+            racks_per_region: 4,
+            max_shards: 100_000,
+            host_memory_bytes: 8 << 30,
+            metric_generation: MetricGeneration::Gen2DecompressedSize,
+            balancer: BalancerConfig::default(),
+            sm: SmConfig::default(),
+            discovery_delay: DelayModelConfig::default(),
+            seed: 0xD3B7,
+        }
+    }
+}
+
+/// One region's slice of the deployment.
+pub struct RegionState {
+    pub region: Region,
+    pub sm: SmServer,
+    pub store: SharedRegionStore,
+    pub nodes: NodeRegistry,
+    /// The region-local proxy's discovery view (sees propagation delay).
+    pub discovery: DiscoveryClient,
+    /// Whole-region availability (code pushes, disasters; §IV-D).
+    pub available: bool,
+}
+
+impl RegionState {
+    /// Authoritative owner of a shard (SM's view, no propagation delay).
+    pub fn authoritative_host(&self, shard: u64) -> Option<HostId> {
+        self.sm.host_of(APP, ShardId(shard))
+    }
+
+    /// Owner as seen by this region's proxy *right now* (possibly stale).
+    pub fn resolved_host(&self, shard: u64, now: SimTime) -> Option<HostId> {
+        self.discovery
+            .resolve_host(&scalewall_discovery::ShardKey::new(APP, shard), now)
+            .map(HostId)
+    }
+}
+
+/// The full simulated deployment.
+pub struct Deployment {
+    pub config: DeploymentConfig,
+    pub catalog: SharedCatalog,
+    pub regions: Vec<RegionState>,
+    pub rng: SimRng,
+    next_host_id: u64,
+}
+
+/// Stable, readable host numbering: region r's i-th host is
+/// `r * REGION_HOST_STRIDE + i`.
+pub const REGION_HOST_STRIDE: u64 = 1_000_000;
+
+impl Deployment {
+    pub fn new(config: DeploymentConfig) -> Self {
+        let mut rng = SimRng::new(config.seed);
+        let catalog = shared_catalog(config.max_shards);
+        let mut regions = Vec::with_capacity(config.regions as usize);
+        for r in 0..config.regions {
+            let region = Region(r);
+            let mut sm = SmServer::standalone(config.sm.clone());
+            sm.register_app(
+                AppSpec::primary_only(APP, config.max_shards).with_balancer(config.balancer),
+            )
+            .expect("fresh SM");
+            let store: SharedRegionStore = Arc::new(RwLock::new(RegionStore::new()));
+            let mut nodes = NodeRegistry::new();
+            for i in 0..config.hosts_per_region {
+                let host = HostId(r as u64 * REGION_HOST_STRIDE + i as u64);
+                let rack = Rack(i % config.racks_per_region);
+                sm.register_host(
+                    HostInfo::new(host, rack, region, config.host_memory_bytes as f64),
+                    SimTime::ZERO,
+                )
+                .expect("fresh host");
+                let mut node_config = NodeConfig::new(host, region);
+                node_config.memory_budget_bytes = config.host_memory_bytes;
+                node_config.metric_generation = config.metric_generation;
+                node_config.rng_seed = rng.fork(host.0).next_u64();
+                nodes.insert(CubrickNode::new(
+                    node_config,
+                    catalog.clone(),
+                    store.clone(),
+                ));
+            }
+            let delay = DelayModel::new(DelayModelConfig {
+                seed: config.discovery_delay.seed ^ (r as u64),
+                ..config.discovery_delay
+            });
+            // Subscriber id: the region's proxy host (id offset 999_999).
+            let discovery = DiscoveryClient::new(
+                sm.discovery(),
+                delay,
+                r as u64 * REGION_HOST_STRIDE + 999_999,
+            );
+            regions.push(RegionState {
+                region,
+                sm,
+                store,
+                nodes,
+                discovery,
+                available: true,
+            });
+        }
+        Deployment {
+            config,
+            catalog,
+            regions,
+            rng,
+            next_host_id: 0,
+        }
+    }
+
+    // ----------------------------------------------------------------- tables
+
+    /// Create a table and allocate its shards in every region.
+    ///
+    /// Shards already allocated (shared with another table via a
+    /// cross-table partition collision) are reused, matching §IV-A:
+    /// co-mapped partitions always live on the same host.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Arc<Schema>,
+        partitions: u32,
+        row_mapping: RowMapping,
+        shard_mapping: ShardMapping,
+        now: SimTime,
+    ) -> CubrickResult<TableDef> {
+        let def = self.catalog.write().create_table(
+            name,
+            schema,
+            partitions,
+            row_mapping,
+            shard_mapping,
+        )?;
+        let shards = self.catalog.read().shards_of_table(name)?;
+        let weight_hint = self.config.sm.default_shard_weight;
+        for region in &mut self.regions {
+            for &shard in &shards {
+                match region.sm.allocate_shard(
+                    APP,
+                    ShardId(shard),
+                    weight_hint,
+                    now,
+                    &mut region.nodes,
+                ) {
+                    Ok(_) => {}
+                    Err(scalewall_shard_manager::SmError::AlreadyAssigned { .. }) => {
+                        // Cross-table collision: shard already placed; its
+                        // current owner now also serves this table.
+                    }
+                    Err(e) => {
+                        return Err(CubrickError::Internal {
+                            detail: format!("shard allocation failed: {e}"),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(def)
+    }
+
+    /// Drop a table everywhere, deallocating shards no other table uses.
+    pub fn drop_table(&mut self, name: &str, now: SimTime) -> CubrickResult<()> {
+        let shards = self.catalog.read().shards_of_table(name)?;
+        self.catalog.write().drop_table(name)?;
+        for region in &mut self.regions {
+            region.store.write().drop_table(name);
+            for &shard in &shards {
+                if self.catalog.read().partitions_of_shard(shard).is_empty() {
+                    let _ = region
+                        .sm
+                        .deallocate_shard(APP, ShardId(shard), now, &mut region.nodes);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingest rows into every region (each holds a full copy). The
+    /// row→partition decision is drawn once so all regions agree.
+    pub fn ingest(&mut self, table: &str, rows: &[Row]) -> CubrickResult<()> {
+        let def = self.catalog.read().get(table)?.clone();
+        for row in rows {
+            let entropy = self.rng.next_u64();
+            let p = def.partition_of_row(row, entropy);
+            for region in &self.regions {
+                region
+                    .store
+                    .write()
+                    .ingest(&def.name, p, &def.schema, row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-partition a table deployment-wide: reshuffle every region's
+    /// rows and fix up shard allocations. Returns rows shuffled per
+    /// region.
+    pub fn repartition(
+        &mut self,
+        table: &str,
+        new_partitions: u32,
+        now: SimTime,
+    ) -> CubrickResult<u64> {
+        let def = self.catalog.read().get(table)?.clone();
+        if new_partitions == def.partitions {
+            return Ok(0);
+        }
+        let old_shards = self.catalog.read().shards_of_table(table)?;
+
+        // Collect per-region rows under the old layout.
+        let mut per_region_rows: Vec<Vec<Row>> = Vec::with_capacity(self.regions.len());
+        for region in &self.regions {
+            let store = region.store.read();
+            let mut rows = Vec::new();
+            for p in 0..def.partitions {
+                if let Some(data) = store.partition(table, p) {
+                    rows.extend(data.all_rows());
+                }
+            }
+            per_region_rows.push(rows);
+        }
+
+        // Swap metadata.
+        self.catalog.write().set_partitions(table, new_partitions)?;
+        let new_def = self.catalog.read().get(table)?.clone();
+        let new_shards = self.catalog.read().shards_of_table(table)?;
+
+        // Redistribute (regions may shuffle independently; each keeps a
+        // full copy either way).
+        let mut shuffled = 0u64;
+        for (region, rows) in self.regions.iter().zip(per_region_rows) {
+            let mut fresh: Vec<(u32, PartitionData)> = (0..new_partitions)
+                .map(|p| (p, PartitionData::new(def.schema.clone())))
+                .collect();
+            shuffled = rows.len() as u64;
+            for row in rows {
+                let p = new_def.partition_of_row(&row, self.rng.next_u64());
+                fresh[p as usize].1.ingest(&row)?;
+            }
+            region.store.write().replace_table(table, fresh);
+        }
+
+        // Fix up shard allocations: new shards in, orphaned shards out.
+        let weight_hint = self.config.sm.default_shard_weight;
+        for region in &mut self.regions {
+            for &shard in &new_shards {
+                if !old_shards.contains(&shard) {
+                    match region.sm.allocate_shard(
+                        APP,
+                        ShardId(shard),
+                        weight_hint,
+                        now,
+                        &mut region.nodes,
+                    ) {
+                        Ok(_) | Err(scalewall_shard_manager::SmError::AlreadyAssigned { .. }) => {}
+                        Err(e) => {
+                            return Err(CubrickError::Internal {
+                                detail: format!("repartition allocation failed: {e}"),
+                            })
+                        }
+                    }
+                }
+            }
+            for &shard in &old_shards {
+                if !new_shards.contains(&shard)
+                    && self.catalog.read().partitions_of_shard(shard).is_empty()
+                {
+                    let _ = region
+                        .sm
+                        .deallocate_shard(APP, ShardId(shard), now, &mut region.nodes);
+                }
+            }
+        }
+        Ok(shuffled)
+    }
+
+    /// Evaluate the re-partitioning policy for a table against its
+    /// current per-partition sizes (region 0's copy; all regions hold the
+    /// same data volume) and apply the decision. Returns the decision.
+    pub fn check_repartition(
+        &mut self,
+        table: &str,
+        policy: &cubrick::repartition::RepartitionPolicy,
+        now: SimTime,
+    ) -> CubrickResult<cubrick::repartition::RepartitionDecision> {
+        let def = self.catalog.read().get(table)?.clone();
+        let sizes: Vec<u64> = {
+            let store = self.regions[0].store.read();
+            (0..def.partitions)
+                .map(|p| {
+                    store
+                        .partition(table, p)
+                        .map(|d| d.decompressed_bytes())
+                        .unwrap_or(0)
+                })
+                .collect()
+        };
+        let decision = cubrick::repartition::evaluate(policy, def.partitions, &sizes);
+        match decision {
+            cubrick::repartition::RepartitionDecision::Grow(n)
+            | cubrick::repartition::RepartitionDecision::Shrink(n) => {
+                self.repartition(table, n, now)?;
+            }
+            cubrick::repartition::RepartitionDecision::None => {}
+        }
+        Ok(decision)
+    }
+
+    // ------------------------------------------------------------------ hosts
+
+    /// Crash a host: the process stops responding; SM fails it over.
+    pub fn fail_host(&mut self, region_idx: usize, host: HostId, now: SimTime) {
+        let region = &mut self.regions[region_idx];
+        region.nodes.crash(host);
+        let _ = region.sm.host_failed(host, now, &mut region.nodes);
+    }
+
+    /// Complete the repair workflow for a dead host: bring up a
+    /// replacement with a fresh id, then decommission the dead host once
+    /// its assignments have drained. Returns the new host id.
+    ///
+    /// The replacement registers *first* — when a table spans every host
+    /// in the region, its failovers are vetoed (shard collision) until
+    /// fresh capacity with no partition of that table appears; repair is
+    /// exactly that capacity.
+    pub fn replace_host(
+        &mut self,
+        region_idx: usize,
+        dead: HostId,
+        now: SimTime,
+    ) -> Option<HostId> {
+        let stride_base = region_idx as u64 * REGION_HOST_STRIDE + 500_000;
+        let region = &mut self.regions[region_idx];
+        let info = *region.sm.host_info(dead)?;
+        self.next_host_id += 1;
+        let new_host = HostId(stride_base + self.next_host_id);
+        region
+            .sm
+            .register_host(
+                HostInfo::new(new_host, info.rack, info.region, info.capacity),
+                now,
+            )
+            .expect("fresh id");
+        let mut node_config = NodeConfig::new(new_host, info.region);
+        node_config.memory_budget_bytes = self.config.host_memory_bytes;
+        node_config.metric_generation = self.config.metric_generation;
+        node_config.rng_seed = self.rng.fork(new_host.0).next_u64();
+        let node = CubrickNode::new(node_config, self.catalog.clone(), region.store.clone());
+        region.nodes.insert(node);
+        // Unblock any failovers waiting for feasible capacity, then try
+        // to decommission the dead host.
+        Self::region_tick(region, now);
+        if region.sm.remove_host(dead).is_ok() {
+            region.nodes.remove(dead);
+        }
+        Some(new_host)
+    }
+
+    /// Retry decommissioning a dead host whose assignments had not yet
+    /// drained when [`replace_host`] ran.
+    ///
+    /// [`replace_host`]: Deployment::replace_host
+    pub fn decommission_if_drained(&mut self, region_idx: usize, dead: HostId) -> bool {
+        let region = &mut self.regions[region_idx];
+        if region.sm.remove_host(dead).is_ok() {
+            region.nodes.remove(dead);
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------- time
+
+    /// Advance SM machinery in every region (heartbeats, failover
+    /// retries, migration state machines).
+    ///
+    /// Every non-crashed host heartbeats first: the simulation advances
+    /// time in jumps, and a live application server would have been
+    /// heartbeating continuously through the jump. Only genuinely
+    /// crashed processes go silent and get expired.
+    pub fn tick(&mut self, now: SimTime) {
+        for region in &mut self.regions {
+            Self::region_tick(region, now);
+        }
+    }
+
+    fn region_tick(region: &mut RegionState, now: SimTime) {
+        let hosts: Vec<HostId> = region.nodes.hosts().collect();
+        for host in hosts {
+            if !region.nodes.is_down(host) {
+                let _ = region.sm.heartbeat(host, now);
+            }
+        }
+        region.sm.tick(now, &mut region.nodes);
+    }
+
+    /// Collect application metrics in every region.
+    pub fn collect_metrics(&mut self) {
+        for region in &mut self.regions {
+            region.sm.collect_metrics(&mut region.nodes);
+        }
+    }
+
+    /// Run one load-balancing pass in every region. Returns migrations
+    /// started.
+    pub fn run_load_balancers(&mut self, now: SimTime) -> usize {
+        let mut started = 0;
+        for region in &mut self.regions {
+            started += region
+                .sm
+                .run_load_balancer(APP, now, &mut region.nodes)
+                .unwrap_or(0);
+        }
+        started
+    }
+
+    /// Fleet-wide completed migration count (all regions).
+    pub fn total_migrations(&self) -> usize {
+        self.regions
+            .iter()
+            .map(|r| r.sm.migration_history().len())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("regions", &self.regions.len())
+            .field("hosts_per_region", &self.config.hosts_per_region)
+            .field("tables", &self.catalog.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubrick::schema::SchemaBuilder;
+    use cubrick::value::Value;
+    use scalewall_sim::SimDuration;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            SchemaBuilder::new()
+                .int_dim("k", 0, 1_000, 50)
+                .metric("m")
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn small() -> Deployment {
+        Deployment::new(DeploymentConfig {
+            regions: 3,
+            hosts_per_region: 8,
+            max_shards: 1_000,
+            ..Default::default()
+        })
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn construction_registers_everything() {
+        let dep = small();
+        assert_eq!(dep.regions.len(), 3);
+        for region in &dep.regions {
+            assert_eq!(region.nodes.len(), 8);
+            assert_eq!(region.sm.alive_host_count(), 8);
+        }
+    }
+
+    #[test]
+    fn create_table_allocates_in_all_regions() {
+        let mut dep = small();
+        dep.create_table(
+            "t",
+            schema(),
+            8,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let shards = dep.catalog.read().shards_of_table("t").unwrap();
+        assert_eq!(shards.len(), 8);
+        for region in &dep.regions {
+            for &s in &shards {
+                let host = region.authoritative_host(s).expect("allocated");
+                assert!(region.nodes.node(host).unwrap().owns_shard(s));
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_replicates_to_all_regions() {
+        let mut dep = small();
+        let def = dep
+            .create_table(
+                "t",
+                schema(),
+                4,
+                RowMapping::Hash,
+                ShardMapping::Monotonic,
+                t(0),
+            )
+            .unwrap();
+        let rows: Vec<Row> = (0..500)
+            .map(|k| Row::new(vec![Value::Int(k % 1_000)], vec![1.0]))
+            .collect();
+        dep.ingest("t", &rows).unwrap();
+        for region in &dep.regions {
+            let store = region.store.read();
+            let total: u64 = (0..def.partitions)
+                .filter_map(|p| store.partition("t", p))
+                .map(|d| d.rows())
+                .sum();
+            assert_eq!(total, 500);
+        }
+    }
+
+    #[test]
+    fn drop_table_cleans_up() {
+        let mut dep = small();
+        dep.create_table(
+            "t",
+            schema(),
+            4,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let shards = dep.catalog.read().shards_of_table("t").unwrap();
+        dep.drop_table("t", t(1)).unwrap();
+        assert!(dep.catalog.read().is_empty());
+        for region in &dep.regions {
+            for &s in &shards {
+                assert!(region.authoritative_host(s).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn host_failure_fails_over_within_region() {
+        let mut dep = small();
+        // 4 partitions over 8 hosts: failover targets without a partition
+        // of "t" exist, so the collision veto does not block recovery.
+        dep.create_table(
+            "t",
+            schema(),
+            4,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let shards = dep.catalog.read().shards_of_table("t").unwrap();
+        let victim = dep.regions[0].authoritative_host(shards[0]).unwrap();
+        dep.fail_host(0, victim, t(100));
+        // Run failover to completion.
+        dep.tick(t(100) + SimDuration::from_hours(1));
+        let new_host = dep.regions[0].authoritative_host(shards[0]).unwrap();
+        assert_ne!(new_host, victim);
+        assert!(dep.regions[0]
+            .nodes
+            .node(new_host)
+            .unwrap()
+            .shard_ready(shards[0]));
+        // Other regions untouched.
+        for r in 1..3 {
+            assert!(dep.regions[r].authoritative_host(shards[0]).is_some());
+        }
+    }
+
+    #[test]
+    fn failover_blocked_by_veto_unblocks_on_repair() {
+        // 8 partitions over 8 hosts: every host owns a partition of "t",
+        // so failover of a dead host's shard is vetoed everywhere until
+        // the repair workflow adds fresh capacity.
+        let mut dep = small();
+        dep.create_table(
+            "t",
+            schema(),
+            8,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let shards = dep.catalog.read().shards_of_table("t").unwrap();
+        let victim = dep.regions[0].authoritative_host(shards[0]).unwrap();
+        dep.fail_host(0, victim, t(10));
+        dep.tick(t(3_600));
+        // Still stuck on the dead host: nowhere to go.
+        assert_eq!(dep.regions[0].authoritative_host(shards[0]), Some(victim));
+        // Repair registers a replacement; the queued failover lands on it.
+        let replacement = dep.replace_host(0, victim, t(7_200)).unwrap();
+        dep.tick(t(7_200) + SimDuration::from_hours(2));
+        assert_eq!(
+            dep.regions[0].authoritative_host(shards[0]),
+            Some(replacement)
+        );
+        assert!(dep.decommission_if_drained(0, victim));
+    }
+
+    #[test]
+    fn replace_host_repair_workflow() {
+        let mut dep = small();
+        dep.create_table(
+            "t",
+            schema(),
+            4,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let shards = dep.catalog.read().shards_of_table("t").unwrap();
+        let victim = dep.regions[0].authoritative_host(shards[0]).unwrap();
+        dep.fail_host(0, victim, t(10));
+        dep.tick(t(10) + SimDuration::from_hours(1));
+        let replacement = dep.replace_host(0, victim, t(7_200)).expect("replaceable");
+        assert!(dep.regions[0].nodes.node(replacement).is_some());
+        assert!(dep.regions[0].sm.host_state(victim).is_none());
+        assert_eq!(dep.regions[0].sm.alive_host_count(), 8);
+    }
+
+    #[test]
+    fn repartition_grows_table_and_moves_shards() {
+        let mut dep = small();
+        let def = dep
+            .create_table(
+                "t",
+                schema(),
+                4,
+                RowMapping::Hash,
+                ShardMapping::Monotonic,
+                t(0),
+            )
+            .unwrap();
+        let rows: Vec<Row> = (0..400)
+            .map(|k| Row::new(vec![Value::Int(k % 1_000)], vec![1.0]))
+            .collect();
+        dep.ingest("t", &rows).unwrap();
+        let shuffled = dep.repartition("t", 8, t(100)).unwrap();
+        assert_eq!(shuffled, 400);
+        assert_eq!(dep.catalog.read().get("t").unwrap().partitions, 8);
+        let shards = dep.catalog.read().shards_of_table("t").unwrap();
+        assert_eq!(shards.len(), 8);
+        for region in &dep.regions {
+            // All shards allocated; all data still present.
+            for &s in &shards {
+                assert!(region.authoritative_host(s).is_some());
+            }
+            let store = region.store.read();
+            let total: u64 = (0..8)
+                .filter_map(|p| store.partition("t", p))
+                .map(|d| d.rows())
+                .sum();
+            assert_eq!(total, 400);
+        }
+        let _ = def;
+    }
+
+    #[test]
+    fn auto_repartition_grows_then_shrinks_with_data() {
+        use cubrick::repartition::{RepartitionDecision, RepartitionPolicy};
+        let mut dep = small();
+        dep.create_table(
+            "t",
+            schema(),
+            8,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let policy = RepartitionPolicy {
+            partition_size_threshold: 2_000, // bytes; tiny for the test
+            ..Default::default()
+        };
+        // Empty table: no action.
+        assert_eq!(
+            dep.check_repartition("t", &policy, t(1)).unwrap(),
+            RepartitionDecision::None
+        );
+        // Load enough that partitions exceed the threshold.
+        let rows: Vec<Row> = (0..3_000)
+            .map(|k| Row::new(vec![Value::Int(k % 1_000)], vec![1.0]))
+            .collect();
+        dep.ingest("t", &rows).unwrap();
+        assert_eq!(
+            dep.check_repartition("t", &policy, t(2)).unwrap(),
+            RepartitionDecision::Grow(16)
+        );
+        assert_eq!(dep.catalog.read().get("t").unwrap().partitions, 16);
+        // Data still complete in every region.
+        for region in &dep.regions {
+            let store = region.store.read();
+            let total: u64 = (0..16)
+                .filter_map(|p| store.partition("t", p))
+                .map(|d| d.rows())
+                .sum();
+            assert_eq!(total, 3_000);
+        }
+        // Shrinking policy (huge threshold): collapses back.
+        let roomy = RepartitionPolicy {
+            partition_size_threshold: 1 << 30,
+            ..Default::default()
+        };
+        assert_eq!(
+            dep.check_repartition("t", &roomy, t(3)).unwrap(),
+            RepartitionDecision::Shrink(8)
+        );
+        assert_eq!(dep.catalog.read().get("t").unwrap().partitions, 8);
+    }
+
+    #[test]
+    fn load_balancer_runs_clean_on_balanced_fleet() {
+        let mut dep = small();
+        dep.create_table(
+            "t",
+            schema(),
+            8,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        dep.collect_metrics();
+        let started = dep.run_load_balancers(t(60));
+        // Fresh equal-weight allocation is already balanced.
+        assert_eq!(started, 0);
+        assert_eq!(dep.total_migrations(), 0);
+    }
+}

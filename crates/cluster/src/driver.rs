@@ -1,0 +1,889 @@
+//! The end-to-end query path.
+//!
+//! Reproduces the full production flow of §IV-C/§IV-D: a query enters at
+//! the proxy, which picks a region and a coordinator partition; the
+//! coordinator fans out one sub-query per table partition, locating each
+//! through (possibly stale) service discovery; sub-queries run on the
+//! owning nodes (real scans when `execute_data` is on) under the network
+//! model's latency and transient failures; the coordinator merges
+//! partials; the proxy transparently retries retryable failures in
+//! another region.
+//!
+//! Query latency = max over fanned-out servers + coordinator costs,
+//! accumulated across retry attempts.
+
+use cubrick::coordinator::{merge_partials, FanoutPlan};
+use cubrick::error::CubrickError;
+use cubrick::proxy::{CoordinatorStrategy, CubrickProxy};
+use cubrick::query::result::{PartialResult, QueryOutput};
+use cubrick::query::Query;
+use scalewall_shard_manager::{HostId, Region};
+use scalewall_sim::{SimDuration, SimRng, SimTime};
+
+use crate::deployment::Deployment;
+use crate::net::{NetModel, ServerResponse};
+
+/// Per-query options.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    pub strategy: CoordinatorStrategy,
+    /// Run real scans and return data (vs. latency/success modelling
+    /// only — used by million-query experiments).
+    pub execute_data: bool,
+    pub client_region: Region,
+    /// Scuba-style best-effort mode (§II-C): ignore sub-queries that
+    /// fail and merge whatever answered, trading accuracy for
+    /// availability. Cubrick's production default is `false` — "there
+    /// are many BI and data analytics workloads where this assumption
+    /// cannot be made".
+    pub best_effort: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            strategy: CoordinatorStrategy::CachedRandom,
+            execute_data: true,
+            client_region: Region(0),
+            best_effort: false,
+        }
+    }
+}
+
+/// What happened to one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub success: bool,
+    /// End-to-end latency including failed attempts.
+    pub latency: SimDuration,
+    pub attempts: u32,
+    pub fan_out: usize,
+    /// Partitions whose sub-query answered. Equals `fan_out` except in
+    /// best-effort mode, where a "successful" query may be incomplete.
+    pub partitions_answered: usize,
+    pub output: Option<QueryOutput>,
+    pub error: Option<CubrickError>,
+}
+
+/// Outcome of one fan-out attempt in one region.
+enum AttemptResult {
+    Ok {
+        latency: SimDuration,
+        partials: Vec<PartialResult>,
+        /// Hosts that served a sub-query (clears their failure streaks).
+        answered_hosts: Vec<HostId>,
+    },
+    Failed {
+        latency: SimDuration,
+        error: CubrickError,
+        culprit: Option<HostId>,
+    },
+}
+
+/// Run one query through the full path.
+pub fn run_query(
+    dep: &mut Deployment,
+    proxy: &mut CubrickProxy,
+    net: &NetModel,
+    query: &Query,
+    opts: &QueryOptions,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> QueryOutcome {
+    let fail = |error: CubrickError, attempts: u32, latency: SimDuration| QueryOutcome {
+        success: false,
+        latency,
+        attempts,
+        fan_out: 0,
+        partitions_answered: 0,
+        output: None,
+        error: Some(error),
+    };
+
+    if let Err(e) = proxy.admit() {
+        return fail(e, 0, SimDuration::ZERO);
+    }
+
+    let def = match dep.catalog.read().get(&query.table) {
+        Ok(d) => d.clone(),
+        Err(e) => {
+            proxy.complete();
+            return fail(e, 0, SimDuration::ZERO);
+        }
+    };
+    let plan = FanoutPlan::for_table(&query.table, def.partitions);
+
+    let region_flags: Vec<(Region, bool)> = dep
+        .regions
+        .iter()
+        .map(|r| (r.region, r.available))
+        .collect();
+
+    let mut excluded: Vec<Region> = Vec::new();
+    let mut total_latency = SimDuration::ZERO;
+    let mut attempts = 0u32;
+
+    loop {
+        let region = match proxy.choose_region(&region_flags, opts.client_region, &excluded) {
+            Ok(r) => r,
+            Err(e) => {
+                proxy.complete();
+                return fail(e, attempts, total_latency);
+            }
+        };
+        attempts += 1;
+
+        // Coordinator selection costs (§IV-C strategies).
+        let choice = proxy.choose_coordinator(&query.table, opts.strategy, def.partitions, rng);
+        if choice.extra_roundtrip {
+            total_latency += net.rtt();
+        }
+        if choice.extra_hop {
+            total_latency += net.rtt();
+        }
+
+        let region_idx = dep
+            .regions
+            .iter()
+            .position(|r| r.region == region)
+            .expect("known region");
+        let result = attempt_in_region(dep, region_idx, net, query, &plan, opts, proxy, now, rng);
+        match result {
+            AttemptResult::Ok {
+                latency,
+                partials,
+                answered_hosts,
+            } => {
+                total_latency += latency;
+                // Successful servers get their failure streaks cleared —
+                // without this, transient failures accumulate into
+                // spurious blacklistings.
+                let answered = answered_hosts.len();
+                for host in answered_hosts {
+                    proxy.record_host_success(host);
+                }
+                proxy.complete();
+                let output = if opts.execute_data {
+                    let mut merged = if opts.best_effort {
+                        merge_available(partials)
+                    } else {
+                        match merge_partials(&plan, partials) {
+                            Ok(out) => Some(out),
+                            Err(e) => {
+                                return fail(e, attempts, total_latency);
+                            }
+                        }
+                    };
+                    if let Some(out) = &mut merged {
+                        // Coordinator applies ORDER BY / LIMIT on the
+                        // merged result (exact top-N needs every group).
+                        query.apply_order_limit(out);
+                        proxy.record_result_metadata(&query.table, out.table_partitions);
+                    }
+                    merged
+                } else {
+                    proxy.record_result_metadata(&query.table, def.partitions);
+                    None
+                };
+                return QueryOutcome {
+                    success: true,
+                    latency: total_latency,
+                    attempts,
+                    fan_out: plan.fan_out(),
+                    partitions_answered: answered,
+                    output,
+                    error: None,
+                };
+            }
+            AttemptResult::Failed {
+                latency,
+                error,
+                culprit,
+            } => {
+                total_latency += latency;
+                if let Some(host) = culprit {
+                    proxy.record_host_failure(host, now);
+                }
+                if proxy.should_retry(&error, attempts - 1) {
+                    excluded.push(region);
+                    continue;
+                }
+                proxy.complete();
+                let mut outcome = fail(error, attempts, total_latency);
+                outcome.fan_out = plan.fan_out();
+                return outcome;
+            }
+        }
+    }
+}
+
+/// One fan-out attempt within one region.
+#[allow(clippy::too_many_arguments)]
+fn attempt_in_region(
+    dep: &mut Deployment,
+    region_idx: usize,
+    net: &NetModel,
+    query: &Query,
+    plan: &FanoutPlan,
+    opts: &QueryOptions,
+    proxy: &CubrickProxy,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> AttemptResult {
+    let max_shards = dep.catalog.read().max_shards();
+    let def = dep
+        .catalog
+        .read()
+        .get(&query.table)
+        .expect("checked by caller")
+        .clone();
+
+    let mut slowest = SimDuration::ZERO;
+    let mut partials: Vec<PartialResult> = Vec::with_capacity(plan.fan_out());
+    let mut answered_hosts: Vec<HostId> = Vec::with_capacity(plan.fan_out());
+
+    for &p in &plan.partitions {
+        let shard = def.shard_of(p, max_shards);
+        match sub_query(dep, region_idx, net, query, p, shard, opts, proxy, now, rng) {
+            Ok((latency, partial, host)) => {
+                slowest = slowest.max(latency);
+                answered_hosts.push(host);
+                if let Some(partial) = partial {
+                    partials.push(partial);
+                }
+            }
+            Err((latency, error, culprit)) => {
+                if opts.best_effort {
+                    // Scuba-style: ignore the dead/slow server and move
+                    // on (§II-C). The answer will be incomplete.
+                    slowest = slowest.max(latency);
+                    continue;
+                }
+                // Fail fast: the attempt's latency is what elapsed before
+                // the coordinator saw the failure.
+                return AttemptResult::Failed {
+                    latency: slowest.max(latency) + net.rtt(),
+                    error,
+                    culprit,
+                };
+            }
+        }
+    }
+    AttemptResult::Ok {
+        latency: net.rtt() + slowest + net.merge_cost(plan.fan_out()),
+        partials,
+        answered_hosts,
+    }
+}
+
+/// Best-effort merge: combine whatever partials arrived (possibly fewer
+/// than the fan-out). `None` only when nothing answered at all.
+fn merge_available(partials: Vec<PartialResult>) -> Option<QueryOutput> {
+    let mut iter = partials.into_iter();
+    let mut merged = iter.next()?;
+    for p in iter {
+        merged.merge(&p);
+    }
+    Some(merged.finalize())
+}
+
+type SubQueryError = (SimDuration, CubrickError, Option<HostId>);
+
+/// One sub-query against the server owning `shard` in the region.
+#[allow(clippy::too_many_arguments)]
+fn sub_query(
+    dep: &mut Deployment,
+    region_idx: usize,
+    net: &NetModel,
+    query: &Query,
+    partition: u32,
+    shard: u64,
+    opts: &QueryOptions,
+    proxy: &CubrickProxy,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> Result<(SimDuration, Option<PartialResult>, HostId), SubQueryError> {
+    let unavailable = || CubrickError::PartitionUnavailable {
+        table: query.table.clone(),
+        partition,
+    };
+
+    // Locate through service discovery (the client-visible, possibly
+    // stale view).
+    let resolved = dep.regions[region_idx].resolved_host(shard, now);
+    let Some(target) = resolved else {
+        return Err((net.rtt(), unavailable(), None));
+    };
+
+    // Blacklisted hosts are not contacted at all (§IV-C/D: the proxy
+    // blacklists repeatedly-failing hosts): fail fast so the retry lands
+    // in another region instead of paying another timeout.
+    if proxy.is_blacklisted(target, now) {
+        return Err((SimDuration::ZERO, unavailable(), None));
+    }
+
+    let mut latency = SimDuration::ZERO;
+    let mut serving = target;
+
+    // A dead process answers nothing.
+    if dep.regions[region_idx].nodes.is_down(serving) {
+        return Err((net.rtt().mul(2), unavailable(), Some(serving)));
+    }
+
+    // Does the resolved server still serve the shard? During a graceful
+    // migration the old owner forwards; after a plain migration it
+    // errors (stale-cache window).
+    let (owns, ready, forward) = {
+        let node = dep.regions[region_idx].nodes.node(serving);
+        match node {
+            None => return Err((net.rtt().mul(2), unavailable(), Some(serving))),
+            Some(n) => (
+                n.owns_shard(shard),
+                n.shard_ready(shard),
+                n.is_forwarding(shard),
+            ),
+        }
+    };
+    if !owns || !ready {
+        if let Some(new_owner) = forward {
+            // Graceful forwarding: one extra hop, then the new owner.
+            latency += net.forward_hop();
+            serving = new_owner;
+            if dep.regions[region_idx].nodes.is_down(serving) {
+                return Err((latency + net.rtt().mul(2), unavailable(), Some(serving)));
+            }
+            let ok = dep.regions[region_idx]
+                .nodes
+                .node(serving)
+                .is_some_and(|n| n.owns_shard(shard) && n.shard_ready(shard));
+            if !ok {
+                return Err((
+                    latency + net.rtt(),
+                    CubrickError::ShardNotOwned {
+                        table: query.table.clone(),
+                        partition,
+                    },
+                    Some(serving),
+                ));
+            }
+        } else if !owns {
+            return Err((
+                net.rtt(),
+                CubrickError::ShardNotOwned {
+                    table: query.table.clone(),
+                    partition,
+                },
+                Some(serving),
+            ));
+        } else {
+            return Err((
+                net.rtt(),
+                CubrickError::ShardLoading {
+                    table: query.table.clone(),
+                    partition,
+                },
+                Some(serving),
+            ));
+        }
+    }
+
+    // The server answers under the network model.
+    match net.server_response(rng) {
+        ServerResponse::Failed => Err((latency + net.rtt().mul(2), unavailable(), Some(serving))),
+        ServerResponse::Ok(service_time) => {
+            latency += net.rtt() + service_time;
+            let partial = if opts.execute_data {
+                let node = dep.regions[region_idx]
+                    .nodes
+                    .node_mut(serving)
+                    .expect("serving node exists");
+                match node.execute_local(query, partition) {
+                    Ok(partial) => Some(partial),
+                    Err(e) => return Err((latency, e, Some(serving))),
+                }
+            } else {
+                None
+            };
+            Ok((latency, partial, serving))
+        }
+    }
+}
+
+/// Convenience: run the same query repeatedly (e.g. every 500 ms, as in
+/// the Fig 5 experiment), recording latencies and successes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_series(
+    dep: &mut Deployment,
+    proxy: &mut CubrickProxy,
+    net: &NetModel,
+    query: &Query,
+    opts: &QueryOptions,
+    start: SimTime,
+    interval: SimDuration,
+    count: u64,
+    rng: &mut SimRng,
+    histogram: &mut scalewall_sim::Histogram,
+) -> (u64, u64) {
+    let mut successes = 0u64;
+    let mut failures = 0u64;
+    let mut now = start;
+    for _ in 0..count {
+        let outcome = run_query(dep, proxy, net, query, opts, now, rng);
+        if outcome.success {
+            successes += 1;
+            histogram.record_duration(outcome.latency);
+        } else {
+            failures += 1;
+        }
+        now += interval;
+    }
+    (successes, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentConfig;
+    use crate::net::NetModelConfig;
+    use cubrick::catalog::RowMapping;
+    use cubrick::proxy::ProxyConfig;
+    use cubrick::query::parse_query;
+    use cubrick::schema::SchemaBuilder;
+    use cubrick::sharding::ShardMapping;
+    use cubrick::value::{Row, Value};
+    use std::sync::Arc;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    struct Fixture {
+        dep: Deployment,
+        proxy: CubrickProxy,
+        net: NetModel,
+        rng: SimRng,
+    }
+
+    fn fixture(failure_p: f64) -> Fixture {
+        let mut dep = Deployment::new(DeploymentConfig {
+            regions: 3,
+            hosts_per_region: 8,
+            max_shards: 1_000,
+            ..Default::default()
+        });
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .int_dim("k", 0, 1_000, 50)
+                .metric("m")
+                .build()
+                .unwrap(),
+        );
+        dep.create_table(
+            "t",
+            schema,
+            8,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..1_000)
+            .map(|k| Row::new(vec![Value::Int(k)], vec![k as f64]))
+            .collect();
+        dep.ingest("t", &rows).unwrap();
+        Fixture {
+            dep,
+            proxy: CubrickProxy::new(ProxyConfig::default()),
+            net: NetModel::new(NetModelConfig {
+                server_failure_probability: failure_p,
+                ..Default::default()
+            }),
+            rng: SimRng::new(99),
+        }
+    }
+
+    // Queries run "late" so discovery propagation for the initial
+    // publishes has certainly finished.
+    const QUERY_TIME: u64 = 3_600;
+
+    #[test]
+    fn successful_query_returns_correct_data() {
+        let mut f = fixture(0.0);
+        let query = parse_query("select sum(m), count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions::default(),
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(outcome.success, "{:?}", outcome.error);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.fan_out, 8);
+        let out = outcome.output.unwrap();
+        assert_eq!(out.rows[0].aggs[1], 1_000.0);
+        let oracle: f64 = (0..1_000).map(|k| k as f64).sum();
+        assert_eq!(out.rows[0].aggs[0], oracle);
+        assert!(outcome.latency > SimDuration::ZERO);
+        // Result metadata refreshed the proxy cache.
+        assert_eq!(f.proxy.cached_partitions("t"), Some(8));
+    }
+
+    #[test]
+    fn grouped_query_merges_across_partitions() {
+        let mut f = fixture(0.0);
+        let query =
+            parse_query("select count(*) from t where k between 0 and 99 group by k").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions::default(),
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        let out = outcome.output.unwrap();
+        assert_eq!(out.rows.len(), 100);
+        assert!(out.rows.iter().all(|r| r.aggs[0] == 1.0));
+    }
+
+    #[test]
+    fn unknown_table_fails_fast() {
+        let mut f = fixture(0.0);
+        let query = parse_query("select count(*) from nope").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions::default(),
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(!outcome.success);
+        assert!(matches!(
+            outcome.error,
+            Some(CubrickError::NoSuchTable { .. })
+        ));
+        assert_eq!(f.proxy.active_queries(), 0, "admission slot released");
+    }
+
+    #[test]
+    fn dead_host_query_retries_in_other_region() {
+        let mut f = fixture(0.0);
+        // Kill one shard-owning host in region 0 *without* telling SM
+        // (heartbeat loss not yet detected): region 0 attempts fail, the
+        // proxy fails over to region 1.
+        let shards = f.dep.catalog.read().shards_of_table("t").unwrap();
+        let victim = f.dep.regions[0].authoritative_host(shards[0]).unwrap();
+        f.dep.regions[0].nodes.crash(victim);
+
+        let query = parse_query("select count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                client_region: Region(0),
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(outcome.success, "{:?}", outcome.error);
+        assert!(outcome.attempts >= 2, "must have retried");
+        assert_eq!(outcome.output.unwrap().rows[0].aggs[0], 1_000.0);
+        assert_eq!(
+            f.proxy.stats.region_failovers,
+            (outcome.attempts - 1) as u64
+        );
+    }
+
+    #[test]
+    fn whole_region_down_routes_elsewhere() {
+        let mut f = fixture(0.0);
+        f.dep.regions[0].available = false;
+        let query = parse_query("select count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                client_region: Region(0),
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(outcome.success);
+        assert_eq!(outcome.attempts, 1, "proxy never tried the down region");
+    }
+
+    #[test]
+    fn all_regions_down_is_terminal() {
+        let mut f = fixture(0.0);
+        for r in &mut f.dep.regions {
+            r.available = false;
+        }
+        let query = parse_query("select count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions::default(),
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(!outcome.success);
+        assert!(matches!(
+            outcome.error,
+            Some(CubrickError::NoAvailableRegion)
+        ));
+    }
+
+    #[test]
+    fn transient_failures_reduce_success_ratio_with_fanout() {
+        // With p=1% per server and fan-out 8, single-attempt success is
+        // ~0.92; the proxy's cross-region retries lift it substantially.
+        let mut f = fixture(0.01);
+        let query = parse_query("select count(*) from t").unwrap();
+        let opts = QueryOptions {
+            execute_data: false,
+            ..Default::default()
+        };
+        let mut successes = 0;
+        let mut single_attempt_successes = 0;
+        let n = 2_000;
+        for i in 0..n {
+            let outcome = run_query(
+                &mut f.dep,
+                &mut f.proxy,
+                &f.net,
+                &query,
+                &opts,
+                t(QUERY_TIME + i),
+                &mut f.rng,
+            );
+            if outcome.success {
+                successes += 1;
+                if outcome.attempts == 1 {
+                    single_attempt_successes += 1;
+                }
+            }
+        }
+        let single_ratio = single_attempt_successes as f64 / n as f64;
+        let retried_ratio = successes as f64 / n as f64;
+        let expected_single = 0.99f64.powi(8);
+        assert!(
+            (single_ratio - expected_single).abs() < 0.03,
+            "single-attempt {single_ratio} vs model {expected_single}"
+        );
+        assert!(
+            retried_ratio > single_ratio,
+            "{retried_ratio} vs {single_ratio}"
+        );
+        assert!(retried_ratio > 0.99);
+    }
+
+    #[test]
+    fn blacklisted_host_is_skipped_without_contact() {
+        let mut f = fixture(0.0);
+        // Crash a shard owner without telling SM; repeated failures
+        // blacklist it, after which region-0 attempts fail instantly
+        // (no 2×RTT dead-host probe) and retries serve the query.
+        let shards = f.dep.catalog.read().shards_of_table("t").unwrap();
+        let victim = f.dep.regions[0].authoritative_host(shards[0]).unwrap();
+        f.dep.regions[0].nodes.crash(victim);
+        let query = parse_query("select count(*) from t").unwrap();
+        let opts = QueryOptions {
+            client_region: Region(0),
+            ..Default::default()
+        };
+        for i in 0..10 {
+            let outcome = run_query(
+                &mut f.dep,
+                &mut f.proxy,
+                &f.net,
+                &query,
+                &opts,
+                t(QUERY_TIME + i),
+                &mut f.rng,
+            );
+            assert!(outcome.success, "retries keep serving: {:?}", outcome.error);
+        }
+        assert!(
+            f.proxy.is_blacklisted(victim, t(QUERY_TIME + 10)),
+            "repeated failures blacklist the host"
+        );
+        // With the host blacklisted, the failed attempt costs ~nothing:
+        // the query still succeeds via another region.
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &opts,
+            t(QUERY_TIME + 11),
+            &mut f.rng,
+        );
+        assert!(outcome.success);
+        assert!(outcome.attempts >= 2);
+    }
+
+    #[test]
+    fn best_effort_mode_returns_partial_data() {
+        let mut f = fixture(0.0);
+        let shards = f.dep.catalog.read().shards_of_table("t").unwrap();
+        let victim = f.dep.regions[0].authoritative_host(shards[0]).unwrap();
+        f.dep.regions[0].nodes.crash(victim);
+        let query = parse_query("select count(*) from t").unwrap();
+        // Best-effort with no retries: the answer comes back incomplete
+        // instead of failing.
+        let mut proxy = CubrickProxy::new(cubrick::proxy::ProxyConfig {
+            max_retries: 0,
+            ..Default::default()
+        });
+        let outcome = run_query(
+            &mut f.dep,
+            &mut proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                client_region: Region(0),
+                best_effort: true,
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(outcome.success);
+        assert!(outcome.partitions_answered < outcome.fan_out);
+        let counted = outcome.output.unwrap().scalar().unwrap();
+        assert!(
+            counted < 1_000.0,
+            "answer is silently incomplete: {counted}"
+        );
+        assert!(counted > 0.0);
+    }
+
+    #[test]
+    fn latency_only_mode_skips_data() {
+        let mut f = fixture(0.0);
+        let query = parse_query("select count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                execute_data: false,
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(outcome.success);
+        assert!(outcome.output.is_none());
+    }
+
+    #[test]
+    fn series_records_histogram() {
+        let mut f = fixture(0.0);
+        let query = parse_query("select count(*) from t").unwrap();
+        let mut hist = scalewall_sim::Histogram::latency_ms();
+        let (ok, fail) = run_query_series(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                execute_data: false,
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            SimDuration::from_millis(500),
+            200,
+            &mut f.rng,
+            &mut hist,
+        );
+        assert_eq!(ok, 200);
+        assert_eq!(fail, 0);
+        assert_eq!(hist.count(), 200);
+        assert!(hist.quantile(0.5) > 10.0, "p50 {}", hist.quantile(0.5));
+    }
+
+    #[test]
+    fn graceful_migration_is_transparent_to_queries() {
+        let mut f = fixture(0.0);
+        let shards = f.dep.catalog.read().shards_of_table("t").unwrap();
+        let shard = shards[0];
+        let from = f.dep.regions[0].authoritative_host(shard).unwrap();
+        let to = f.dep.regions[0]
+            .nodes
+            .hosts()
+            .find(|&h| {
+                h != from
+                    && f.dep.regions[0]
+                        .sm
+                        .shards_on(crate::deployment::APP, h)
+                        .is_empty()
+            })
+            .or_else(|| f.dep.regions[0].nodes.hosts().find(|&h| h != from))
+            .unwrap();
+        // Target would own another shard of "t"? Then the veto fires and
+        // this test would be vacuous — pick a target that doesn't.
+        let region = &mut f.dep.regions[0];
+        let started = region.sm.begin_migration(
+            crate::deployment::APP,
+            scalewall_shard_manager::ShardId(shard),
+            to,
+            true,
+            scalewall_shard_manager::MigrationCause::Manual,
+            t(QUERY_TIME),
+            &mut region.nodes,
+        );
+        if started.is_err() {
+            // Collision veto: acceptable, the deployment is tiny.
+            return;
+        }
+        // Drive the migration through its phases while querying.
+        let query = parse_query("select count(*) from t").unwrap();
+        for step in 0..200u64 {
+            let now = t(QUERY_TIME + 1 + step);
+            f.dep.tick(now);
+            let outcome = run_query(
+                &mut f.dep,
+                &mut f.proxy,
+                &f.net,
+                &query,
+                &QueryOptions {
+                    client_region: Region(0),
+                    ..Default::default()
+                },
+                now,
+                &mut f.rng,
+            );
+            assert!(
+                outcome.success,
+                "query failed at step {step} during graceful migration: {:?}",
+                outcome.error
+            );
+            assert_eq!(outcome.output.unwrap().rows[0].aggs[0], 1_000.0);
+        }
+        // Migration finished and ownership moved.
+        assert!(f.dep.regions[0]
+            .sm
+            .active_migration(
+                crate::deployment::APP,
+                scalewall_shard_manager::ShardId(shard)
+            )
+            .is_none());
+        assert_eq!(f.dep.regions[0].authoritative_host(shard), Some(to));
+    }
+}

@@ -1,0 +1,40 @@
+//! Cluster harness: the simulated deployment every experiment runs on.
+//!
+//! This crate replaces the paper's production fleet. It wires the real
+//! pieces together — `cubrick` nodes, one `scalewall-shard-manager`
+//! per region, a shared catalog, service discovery with propagation
+//! delay — and adds the parts only a datacenter can otherwise provide:
+//! a network/tail-latency model, failure processes, and workload
+//! generators.
+//!
+//! * [`registry`] — the per-region map of live Cubrick nodes (SM's view
+//!   of application servers).
+//! * [`deployment`] — a three-region deployment: create tables, ingest,
+//!   fail/repair/drain hosts, advance time.
+//! * [`net`] — per-request latency and transient-failure models (the
+//!   Dean & Barroso tail environment behind Figs 1, 2 and 5).
+//! * [`driver`] — the end-to-end query path: proxy → region → coordinator
+//!   → fan-out → merge, with retries and stale-discovery semantics.
+//! * [`workload`] — table populations (log-normal sizes), row and query
+//!   generators, Zipf access skew.
+//! * [`experiment`] — the discrete-event experiment engine used by the
+//!   week-long operational figures (4d, 4e, 4f).
+//! * [`wall`] — the analytic scalability-wall model (Figs 1 and 2) plus
+//!   Monte-Carlo cross-check.
+//! * [`report`] — plain-text table/CSV rendering for the bench binaries.
+
+pub mod deployment;
+pub mod driver;
+pub mod experiment;
+pub mod net;
+pub mod registry;
+pub mod report;
+pub mod wall;
+pub mod workload;
+
+pub use deployment::{Deployment, DeploymentConfig, RegionState};
+pub use driver::{run_query, QueryOptions, QueryOutcome};
+pub use net::{NetModel, NetModelConfig};
+pub use registry::NodeRegistry;
+pub use wall::{success_ratio, wall_point};
+pub use workload::{TablePopulation, TableSpec, WorkloadConfig};

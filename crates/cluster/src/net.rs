@@ -1,0 +1,189 @@
+//! Network and per-request failure model.
+//!
+//! The environment the paper's figures emerge from: each server answers a
+//! sub-query after a log-normal body + rare Pareto tail service time, and
+//! at any instant has a small probability of failing a request outright
+//! (the "0.01 % chance of failure at any given time" of Figs 1 and 2).
+//! A fan-out query's latency is the **max** over the servers it visits,
+//! plus fixed coordinator costs — which is precisely why tail latency
+//! amplifies with fan-out (Fig 5).
+
+use scalewall_sim::{Bernoulli, SimDuration, SimRng, TailLatency};
+
+/// Tunables for the network model.
+#[derive(Debug, Clone, Copy)]
+pub struct NetModelConfig {
+    /// Median per-host service time for the experiment's standard query.
+    pub median_service_ms: f64,
+    /// Log-space sigma of the service-time body.
+    pub sigma: f64,
+    /// Probability a request hits a heavy-tail event.
+    pub tail_probability: f64,
+    /// Pareto scale (ms) and shape of tail events.
+    pub tail_min_ms: f64,
+    pub tail_alpha: f64,
+    /// Upper bound on a single tail event (GC pauses, retransmit storms
+    /// and the like are long but bounded; the Pareto alone is not).
+    pub tail_cap_ms: f64,
+    /// Instantaneous probability a server fails a request.
+    pub server_failure_probability: f64,
+    /// One network round trip (coordinator → worker).
+    pub rtt_ms: f64,
+    /// Coordinator-side merge cost per visited partition.
+    pub merge_per_partition_ms: f64,
+    /// Extra cost when a request is forwarded by an old shard owner
+    /// during graceful migration.
+    pub forward_hop_ms: f64,
+}
+
+impl Default for NetModelConfig {
+    fn default() -> Self {
+        NetModelConfig {
+            median_service_ms: 20.0,
+            sigma: 0.25,
+            tail_probability: 1e-3,
+            tail_min_ms: 200.0,
+            tail_alpha: 1.5,
+            tail_cap_ms: 10_000.0,
+            server_failure_probability: 1e-4, // the paper's 0.01 %
+            rtt_ms: 0.5,
+            merge_per_partition_ms: 0.05,
+            forward_hop_ms: 1.0,
+        }
+    }
+}
+
+/// Sampled behaviour of one server answering one sub-query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerResponse {
+    /// Answered after this much time.
+    Ok(SimDuration),
+    /// Failed the request (crash, corruption, timeout...).
+    Failed,
+}
+
+/// The instantiated model.
+#[derive(Debug, Clone, Copy)]
+pub struct NetModel {
+    config: NetModelConfig,
+    latency: TailLatency,
+    failure: Bernoulli,
+}
+
+impl NetModel {
+    pub fn new(config: NetModelConfig) -> Self {
+        NetModel {
+            config,
+            latency: TailLatency::new(
+                config.median_service_ms,
+                config.sigma,
+                config.tail_probability,
+                config.tail_min_ms,
+                config.tail_alpha,
+            ),
+            failure: Bernoulli::new(config.server_failure_probability),
+        }
+    }
+
+    pub fn config(&self) -> &NetModelConfig {
+        &self.config
+    }
+
+    /// One server's response to one sub-query.
+    pub fn server_response(&self, rng: &mut SimRng) -> ServerResponse {
+        if self.failure.sample(rng) {
+            ServerResponse::Failed
+        } else {
+            let ms = self.latency.sample_ms(rng).min(self.config.tail_cap_ms);
+            ServerResponse::Ok(scalewall_sim::SimDuration::from_millis_f64(ms))
+        }
+    }
+
+    /// One network round trip.
+    pub fn rtt(&self) -> SimDuration {
+        SimDuration::from_millis_f64(self.config.rtt_ms)
+    }
+
+    /// Coordinator merge cost for a fan-out of `partitions`.
+    pub fn merge_cost(&self, partitions: usize) -> SimDuration {
+        SimDuration::from_millis_f64(self.config.merge_per_partition_ms * partitions as f64)
+    }
+
+    /// Forwarding overhead during graceful migration.
+    pub fn forward_hop(&self) -> SimDuration {
+        SimDuration::from_millis_f64(self.config.forward_hop_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(failure_p: f64) -> NetModel {
+        NetModel::new(NetModelConfig {
+            server_failure_probability: failure_p,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn failure_rate_matches_config() {
+        let m = model(0.01);
+        let mut rng = SimRng::new(1);
+        let failures = (0..100_000)
+            .filter(|_| matches!(m.server_response(&mut rng), ServerResponse::Failed))
+            .count();
+        let rate = failures as f64 / 100_000.0;
+        assert!((rate - 0.01).abs() < 0.002, "{rate}");
+    }
+
+    #[test]
+    fn latencies_center_on_median() {
+        let m = model(0.0);
+        let mut rng = SimRng::new(2);
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| match m.server_response(&mut rng) {
+                ServerResponse::Ok(d) => d.as_millis_f64(),
+                ServerResponse::Failed => unreachable!(),
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[10_000];
+        assert!((median - 20.0).abs() < 2.0, "{median}");
+    }
+
+    #[test]
+    fn fanout_amplifies_tail_latency() {
+        // The core Fig 5 mechanism: p99 of max-over-k grows with k.
+        let m = model(0.0);
+        let mut rng = SimRng::new(3);
+        let p99_of_fanout = |k: usize, rng: &mut SimRng| {
+            let mut maxes: Vec<f64> = (0..5_000)
+                .map(|_| {
+                    (0..k)
+                        .map(|_| match m.server_response(rng) {
+                            ServerResponse::Ok(d) => d.as_millis_f64(),
+                            ServerResponse::Failed => unreachable!(),
+                        })
+                        .fold(0.0, f64::max)
+                })
+                .collect();
+            maxes.sort_by(f64::total_cmp);
+            maxes[4_950]
+        };
+        let p99_1 = p99_of_fanout(1, &mut rng);
+        let p99_32 = p99_of_fanout(32, &mut rng);
+        assert!(
+            p99_32 > p99_1 * 1.5,
+            "fan-out 1: {p99_1}, fan-out 32: {p99_32}"
+        );
+    }
+
+    #[test]
+    fn fixed_costs() {
+        let m = model(0.0);
+        assert_eq!(m.rtt(), SimDuration::from_micros(500));
+        assert_eq!(m.merge_cost(8).as_millis_f64(), 0.4);
+        assert!(m.forward_hop() > SimDuration::ZERO);
+    }
+}

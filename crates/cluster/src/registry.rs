@@ -1,0 +1,138 @@
+//! The per-region node registry.
+//!
+//! Owns the actual [`CubrickNode`] objects for one region and implements
+//! SM's [`AppServerRegistry`] so the region's SM server can invoke shard
+//! endpoints. A host in the `down` set is unreachable — endpoint calls
+//! fail exactly as they would against a crashed process.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cubrick::node::CubrickNode;
+use scalewall_shard_manager::{AppServer, AppServerRegistry, HostId};
+
+/// Registry of one region's Cubrick processes.
+#[derive(Debug, Default)]
+pub struct NodeRegistry {
+    nodes: BTreeMap<HostId, CubrickNode>,
+    down: BTreeSet<HostId>,
+}
+
+impl NodeRegistry {
+    pub fn new() -> Self {
+        NodeRegistry::default()
+    }
+
+    pub fn insert(&mut self, node: CubrickNode) {
+        self.nodes.insert(node.host(), node);
+    }
+
+    /// Mark a host crashed (unreachable until [`revive`]).
+    ///
+    /// [`revive`]: NodeRegistry::revive
+    pub fn crash(&mut self, host: HostId) {
+        self.down.insert(host);
+    }
+
+    /// Bring a crashed host back (with empty state — a fresh process).
+    pub fn revive(&mut self, host: HostId) {
+        self.down.remove(&host);
+    }
+
+    pub fn is_down(&self, host: HostId) -> bool {
+        self.down.contains(&host)
+    }
+
+    /// Direct access to a node regardless of reachability (for inspection
+    /// by the driver and experiments, not for SM calls).
+    pub fn node(&self, host: HostId) -> Option<&CubrickNode> {
+        self.nodes.get(&host)
+    }
+
+    pub fn node_mut(&mut self, host: HostId) -> Option<&mut CubrickNode> {
+        self.nodes.get_mut(&host)
+    }
+
+    /// Reachable node (None when crashed) — the query path uses this.
+    pub fn live_node_mut(&mut self, host: HostId) -> Option<&mut CubrickNode> {
+        if self.down.contains(&host) {
+            return None;
+        }
+        self.nodes.get_mut(&host)
+    }
+
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Remove a node entirely (decommission).
+    pub fn remove(&mut self, host: HostId) -> Option<CubrickNode> {
+        self.down.remove(&host);
+        self.nodes.remove(&host)
+    }
+}
+
+impl AppServerRegistry for NodeRegistry {
+    fn server(&mut self, host: HostId) -> Option<&mut dyn AppServer> {
+        if self.down.contains(&host) {
+            return None;
+        }
+        self.nodes.get_mut(&host).map(|n| n as &mut dyn AppServer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubrick::catalog::shared_catalog;
+    use cubrick::node::{NodeConfig, RegionStore};
+    use parking_lot::RwLock;
+    use scalewall_shard_manager::Region;
+    use std::sync::Arc;
+
+    fn node(id: u64) -> CubrickNode {
+        CubrickNode::new(
+            NodeConfig::new(HostId(id), Region(0)),
+            shared_catalog(100),
+            Arc::new(RwLock::new(RegionStore::new())),
+        )
+    }
+
+    #[test]
+    fn crash_makes_unreachable_revive_restores() {
+        let mut reg = NodeRegistry::new();
+        reg.insert(node(1));
+        assert!(reg.server(HostId(1)).is_some());
+        reg.crash(HostId(1));
+        assert!(reg.server(HostId(1)).is_none());
+        assert!(reg.is_down(HostId(1)));
+        assert!(reg.node(HostId(1)).is_some(), "inspection still possible");
+        assert!(reg.live_node_mut(HostId(1)).is_none());
+        reg.revive(HostId(1));
+        assert!(reg.server(HostId(1)).is_some());
+    }
+
+    #[test]
+    fn unknown_host_is_none() {
+        let mut reg = NodeRegistry::new();
+        assert!(reg.server(HostId(9)).is_none());
+    }
+
+    #[test]
+    fn remove_decommissions() {
+        let mut reg = NodeRegistry::new();
+        reg.insert(node(2));
+        reg.crash(HostId(2));
+        let n = reg.remove(HostId(2));
+        assert!(n.is_some());
+        assert!(reg.is_empty());
+        assert!(!reg.is_down(HostId(2)), "down set cleaned");
+    }
+}

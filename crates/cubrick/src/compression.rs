@@ -1,0 +1,135 @@
+//! Whole-brick compression.
+//!
+//! The unit of adaptive compression is the brick: when the memory monitor
+//! decides a brick is cold enough, every one of its columns is encoded
+//! with the best-fitting codec and the uncompressed representation is
+//! dropped. Decompression restores the exact original columns.
+
+use crate::brick::Brick;
+use crate::encoding::{self, EncodedF64, EncodedU32};
+
+/// A fully compressed brick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedBrick {
+    dims: Vec<EncodedU32>,
+    metrics: Vec<EncodedF64>,
+    rows: usize,
+    /// Payload bytes of the original (for ratio accounting and the gen-2
+    /// "decompressed size" metric).
+    original_bytes: u64,
+}
+
+impl CompressedBrick {
+    /// Compress a brick (the original is consumed).
+    pub fn compress(brick: Brick) -> Self {
+        let original_bytes = brick.payload_bytes();
+        let rows = brick.rows();
+        CompressedBrick {
+            dims: brick
+                .dims
+                .iter()
+                .map(|c| encoding::encode_u32_auto(c))
+                .collect(),
+            metrics: brick
+                .metrics
+                .iter()
+                .map(|c| encoding::encode_f64(c))
+                .collect(),
+            rows,
+            original_bytes,
+        }
+    }
+
+    /// Restore the original brick.
+    pub fn decompress(&self) -> Brick {
+        let mut brick = Brick::new(self.dims.len(), self.metrics.len());
+        let dims: Vec<Vec<u32>> = self.dims.iter().map(encoding::decode_u32).collect();
+        let metrics: Vec<Vec<f64>> = self.metrics.iter().map(encoding::decode_f64).collect();
+        // Rebuild by columns directly (push would be O(rows × cols)).
+        brick.dims = dims;
+        brick.metrics = metrics;
+        // Restore the row count through the public invariant.
+        let rows = self.rows;
+        debug_assert!(brick.dims.iter().all(|c| c.len() == rows));
+        debug_assert!(brick.metrics.iter().all(|c| c.len() == rows));
+        brick.set_rows(rows);
+        brick
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Compressed in-memory footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        let d: u64 = self.dims.iter().map(|e| e.encoded_bytes()).sum();
+        let m: u64 = self.metrics.iter().map(|e| e.encoded_bytes()).sum();
+        d + m
+    }
+
+    /// Payload bytes the brick occupies when decompressed.
+    pub fn decompressed_bytes(&self) -> u64 {
+        self.original_bytes
+    }
+
+    /// `original / compressed` (1.0 for empty bricks).
+    pub fn ratio(&self) -> f64 {
+        let c = self.footprint();
+        if c == 0 {
+            1.0
+        } else {
+            self.original_bytes as f64 / c as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_brick(rows: usize) -> Brick {
+        let mut b = Brick::new(3, 2);
+        for i in 0..rows {
+            // dim0 constant-ish, dim1 monotonic, dim2 small domain.
+            b.push(
+                &[7, i as u32, (i % 5) as u32],
+                &[i as f64, 1000.0 + (i % 3) as f64],
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let brick = sample_brick(5_000);
+        let original = brick.clone();
+        let compressed = CompressedBrick::compress(brick);
+        let restored = compressed.decompress();
+        assert_eq!(restored, original);
+        assert_eq!(restored.rows(), 5_000);
+    }
+
+    #[test]
+    fn compression_actually_shrinks() {
+        let brick = sample_brick(10_000);
+        let payload = brick.payload_bytes();
+        let compressed = CompressedBrick::compress(brick);
+        assert!(
+            compressed.footprint() < payload / 3,
+            "expected ≥3× compression, got {} → {}",
+            payload,
+            compressed.footprint()
+        );
+        assert!(compressed.ratio() > 3.0);
+        assert_eq!(compressed.decompressed_bytes(), payload);
+    }
+
+    #[test]
+    fn empty_brick() {
+        let brick = Brick::new(2, 1);
+        let compressed = CompressedBrick::compress(brick);
+        assert_eq!(compressed.rows(), 0);
+        let restored = compressed.decompress();
+        assert!(restored.is_empty());
+    }
+}

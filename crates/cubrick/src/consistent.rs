@@ -1,0 +1,183 @@
+//! Consistent-hashing shard mapping.
+//!
+//! §IV-A: "Since the number of shards is fixed for a particular service,
+//! Cubrick leverages a simple `hash(tbl) % maxShards` function ... In
+//! case changing the maximum number of shards had to be supported, a
+//! consistent hashing function could have been used instead."
+//!
+//! This module implements that alternative: a hash ring with virtual
+//! nodes per shard. Its defining property — verified by tests — is that
+//! growing the shard space from `N` to `N + k` remaps only ~`k/(N+k)` of
+//! the partition keys, where the modulo mapping remaps almost all of
+//! them.
+
+use crate::sharding::{partition_name, stable_hash};
+
+/// Number of ring positions per shard. More vnodes ⇒ smoother key
+/// distribution at the cost of a larger ring.
+pub const DEFAULT_VNODES: u32 = 16;
+
+/// A consistent-hash ring over the shard key space `[0, shards)`.
+#[derive(Debug, Clone)]
+pub struct ConsistentRing {
+    /// `(ring position, shard id)`, sorted by position.
+    points: Vec<(u64, u64)>,
+    shards: u64,
+    vnodes: u32,
+}
+
+impl ConsistentRing {
+    /// Build a ring for `shards` shards with `vnodes` virtual nodes each.
+    pub fn new(shards: u64, vnodes: u32) -> Self {
+        assert!(shards > 0, "empty shard space");
+        assert!(vnodes > 0, "need at least one vnode");
+        let mut points = Vec::with_capacity((shards * vnodes as u64) as usize);
+        for shard in 0..shards {
+            for v in 0..vnodes {
+                let pos = stable_hash(format!("shard:{shard}:{v}").as_bytes());
+                points.push((pos, shard));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        ConsistentRing {
+            points,
+            shards,
+            vnodes,
+        }
+    }
+
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// The shard owning ring position `hash` (first point clockwise).
+    fn owner(&self, hash: u64) -> u64 {
+        let idx = self.points.partition_point(|&(pos, _)| pos < hash);
+        if idx == self.points.len() {
+            self.points[0].1 // wrap around
+        } else {
+            self.points[idx].1
+        }
+    }
+
+    /// Shard for a table partition.
+    pub fn shard_of(&self, table: &str, partition: u32) -> u64 {
+        self.owner(stable_hash(partition_name(table, partition).as_bytes()))
+    }
+
+    /// All shards of a table with `partitions` partitions (may contain
+    /// duplicates — consistent hashing does not prevent same-table
+    /// collisions; that remains the monotonic mapping's advantage).
+    pub fn shards_of_table(&self, table: &str, partitions: u32) -> Vec<u64> {
+        (0..partitions).map(|p| self.shard_of(table, p)).collect()
+    }
+
+    /// Grow (or shrink) the shard space, returning the new ring.
+    pub fn resized(&self, shards: u64) -> ConsistentRing {
+        ConsistentRing::new(shards, self.vnodes)
+    }
+}
+
+/// Fraction of a key sample that maps to a different shard in `b` than
+/// in `a` (the remapping cost of a resize).
+pub fn remap_fraction(a: &ConsistentRing, b: &ConsistentRing, keys: &[(String, u32)]) -> f64 {
+    if keys.is_empty() {
+        return 0.0;
+    }
+    let moved = keys
+        .iter()
+        .filter(|(t, p)| a.shard_of(t, *p) != b.shard_of(t, *p))
+        .count();
+    moved as f64 / keys.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_keys(n: usize) -> Vec<(String, u32)> {
+        (0..n)
+            .map(|i| (format!("tbl_{}", i / 8), (i % 8) as u32))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let ring = ConsistentRing::new(1_000, DEFAULT_VNODES);
+        for (t, p) in sample_keys(500) {
+            let s = ring.shard_of(&t, p);
+            assert!(s < 1_000);
+            assert_eq!(s, ring.shard_of(&t, p), "stable per key");
+        }
+    }
+
+    #[test]
+    fn distribution_is_reasonably_uniform() {
+        let ring = ConsistentRing::new(100, 64);
+        let mut counts = vec![0usize; 100];
+        for (t, p) in sample_keys(40_000) {
+            counts[ring.shard_of(&t, p) as usize] += 1;
+        }
+        let mean = 400.0;
+        let over = counts.iter().filter(|&&c| (c as f64) > mean * 2.5).count();
+        assert!(over < 5, "{over} shards way over mean; counts {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "no empty shards at 64 vnodes"
+        );
+    }
+
+    #[test]
+    fn resize_remaps_few_keys_modulo_remaps_most() {
+        let keys = sample_keys(20_000);
+        let a = ConsistentRing::new(1_000, DEFAULT_VNODES);
+        let b = a.resized(1_100); // +10 %
+        let consistent = remap_fraction(&a, &b, &keys);
+        // Theory: ~100/1100 ≈ 9 % of keys move.
+        assert!(consistent < 0.2, "consistent remap {consistent}");
+
+        // The modulo mapping remaps nearly everything on the same resize.
+        let moved_modulo = keys
+            .iter()
+            .filter(|(t, p)| {
+                crate::sharding::ShardMapping::Naive.shard_of(t, *p, 1_000)
+                    != crate::sharding::ShardMapping::Naive.shard_of(t, *p, 1_100)
+            })
+            .count() as f64
+            / keys.len() as f64;
+        assert!(moved_modulo > 0.9, "modulo remap {moved_modulo}");
+        assert!(consistent < moved_modulo / 4.0);
+    }
+
+    #[test]
+    fn shrink_also_cheap() {
+        let keys = sample_keys(10_000);
+        let a = ConsistentRing::new(1_000, DEFAULT_VNODES);
+        let b = a.resized(900);
+        let frac = remap_fraction(&a, &b, &keys);
+        assert!(frac < 0.25, "{frac}");
+        // Keys never map to removed shards.
+        for (t, p) in &keys {
+            assert!(b.shard_of(t, *p) < 900);
+        }
+    }
+
+    #[test]
+    fn single_shard_ring() {
+        let ring = ConsistentRing::new(1, 4);
+        for (t, p) in sample_keys(50) {
+            assert_eq!(ring.shard_of(&t, p), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard space")]
+    fn zero_shards_rejected() {
+        ConsistentRing::new(0, 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Query-coordinator logic (§IV-C).
+//!
+//! "A query coordinator is required to run on a host that stores one
+//! partition of the target table"; it parses and distributes the query
+//! and merges partial results. The distribution itself (network, fan-out)
+//! is driven by the cluster layer; this module holds the pure pieces:
+//! the fan-out plan and the merge.
+
+use crate::error::{CubrickError, CubrickResult};
+use crate::query::result::{PartialResult, QueryOutput};
+
+/// The set of partitions a query must visit: all of them — partial
+/// sharding bounds this by the *table's* partition count, not the
+/// cluster size, which is the entire point of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutPlan {
+    pub table: String,
+    pub partitions: Vec<u32>,
+}
+
+impl FanoutPlan {
+    pub fn for_table(table: &str, partition_count: u32) -> Self {
+        FanoutPlan {
+            table: table.to_string(),
+            partitions: (0..partition_count).collect(),
+        }
+    }
+
+    pub fn fan_out(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+/// Merge per-partition partials into the final output.
+///
+/// Every partition must be represented: Cubrick refuses partial answers
+/// rather than trading accuracy for availability ("there are many BI and
+/// data analytics workloads where this assumption cannot be made",
+/// §II-C). `partials` must therefore have exactly `plan.fan_out()`
+/// entries.
+pub fn merge_partials(
+    plan: &FanoutPlan,
+    partials: Vec<PartialResult>,
+) -> CubrickResult<QueryOutput> {
+    if partials.len() != plan.fan_out() {
+        return Err(CubrickError::Internal {
+            detail: format!(
+                "coordinator received {} partials for fan-out {}",
+                partials.len(),
+                plan.fan_out()
+            ),
+        });
+    }
+    let mut iter = partials.into_iter();
+    let Some(mut merged) = iter.next() else {
+        return Err(CubrickError::Internal {
+            detail: "zero-partition table".into(),
+        });
+    };
+    for partial in iter {
+        merged.merge(&partial);
+    }
+    Ok(merged.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::agg::{AggSpec, AggState};
+    use crate::query::result::GroupVal;
+
+    fn partial(count: u64) -> PartialResult {
+        let mut p = PartialResult::new(vec![AggSpec::count_star()], 4);
+        p.groups
+            .insert(vec![GroupVal::Int(1)], vec![AggState::Count(count)]);
+        p.rows_scanned = count;
+        p
+    }
+
+    #[test]
+    fn plan_covers_all_partitions() {
+        let plan = FanoutPlan::for_table("t", 8);
+        assert_eq!(plan.fan_out(), 8);
+        assert_eq!(plan.partitions, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_requires_every_partition() {
+        let plan = FanoutPlan::for_table("t", 3);
+        let out = merge_partials(&plan, vec![partial(1), partial(2), partial(3)]).unwrap();
+        assert_eq!(out.rows[0].aggs[0], 6.0);
+        assert_eq!(out.rows_scanned, 6);
+        // Missing one partial is an error — no silent partial answers.
+        let err = merge_partials(&plan, vec![partial(1), partial(2)]).unwrap_err();
+        assert!(matches!(err, CubrickError::Internal { .. }));
+    }
+}

@@ -1,0 +1,131 @@
+//! Byte-granular XOR compression for `f64` metric columns.
+//!
+//! A simplification of Gorilla's bit-level scheme that keeps the key
+//! insight — consecutive metric values XOR to mostly-zero words — while
+//! staying byte-aligned for simplicity and speed:
+//!
+//! ```text
+//! header:   LEB128 row count
+//! value 0:  8 raw little-endian bytes
+//! value i:  control byte `(leading_zero_bytes << 4) | payload_len`
+//!           followed by `payload_len` significant bytes of
+//!           `bits(v[i]) ^ bits(v[i-1])`
+//! ```
+//!
+//! Identical consecutive values cost exactly one byte.
+
+use super::varint;
+
+/// Encode a metric column.
+pub fn encode(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 3 + 8);
+    varint::write_u64(&mut out, values.len() as u64);
+    let Some(&first) = values.first() else {
+        return out;
+    };
+    out.extend_from_slice(&first.to_bits().to_le_bytes());
+    let mut prev = first.to_bits();
+    for &v in &values[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev;
+        prev = bits;
+        if xor == 0 {
+            out.push(0);
+            continue;
+        }
+        let bytes = xor.to_le_bytes();
+        // Significant span: strip leading-zero bytes from the big end and
+        // trailing-zero bytes from the little end.
+        let mut lo = 0usize;
+        while bytes[lo] == 0 {
+            lo += 1;
+        }
+        let mut hi = 7usize;
+        while bytes[hi] == 0 {
+            hi -= 1;
+        }
+        let len = hi - lo + 1;
+        out.push(((lo as u8) << 4) | len as u8);
+        out.extend_from_slice(&bytes[lo..=hi]);
+    }
+    out
+}
+
+/// Decode a metric column.
+pub fn decode(payload: &[u8]) -> Vec<f64> {
+    let mut pos = 0;
+    let rows = varint::read_u64(payload, &mut pos).expect("xor header") as usize;
+    if rows == 0 {
+        return Vec::new();
+    }
+    let mut first_bytes = [0u8; 8];
+    first_bytes.copy_from_slice(&payload[pos..pos + 8]);
+    pos += 8;
+    let mut prev = u64::from_le_bytes(first_bytes);
+    let mut out = Vec::with_capacity(rows);
+    out.push(f64::from_bits(prev));
+    for _ in 1..rows {
+        let control = payload[pos];
+        pos += 1;
+        if control == 0 {
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        let lo = (control >> 4) as usize;
+        let len = (control & 0x0F) as usize;
+        let mut bytes = [0u8; 8];
+        bytes[lo..lo + len].copy_from_slice(&payload[pos..pos + len]);
+        pos += len;
+        prev ^= u64::from_le_bytes(bytes);
+        out.push(f64::from_bits(prev));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[f64]) {
+        let decoded = decode(&encode(values));
+        assert_eq!(decoded.len(), values.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(&[]);
+        round_trip(&[1.0]);
+        round_trip(&[1.0, 1.0, 1.0]);
+        round_trip(&[0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY]);
+        round_trip(&[1.5, 2.5, 3.75, -10.125, 0.1, 0.2, 0.3]);
+        round_trip(&[f64::MAX, f64::MIN, f64::MIN_POSITIVE, f64::EPSILON]);
+    }
+
+    #[test]
+    fn nan_bit_pattern_preserved() {
+        let values = [f64::NAN, 1.0, f64::NAN];
+        let decoded = decode(&encode(&values));
+        assert!(decoded[0].is_nan());
+        assert_eq!(decoded[0].to_bits(), values[0].to_bits());
+    }
+
+    #[test]
+    fn identical_runs_cost_one_byte_each() {
+        let values = vec![123.456; 1_000];
+        let e = encode(&values);
+        // header + 8 bytes + 999 zero controls.
+        assert!(e.len() <= 8 + 8 + 999, "{} bytes", e.len());
+    }
+
+    #[test]
+    fn similar_values_compress() {
+        // Counter-like metrics: small increments → few significant bytes.
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let e = encode(&values);
+        assert!(e.len() < 10_000 * 8 / 2, "{} bytes", e.len());
+        round_trip(&values);
+    }
+}

@@ -1,0 +1,246 @@
+//! Hotness counters and the adaptive-compression memory monitor (§IV-F2).
+//!
+//! Cubrick "maintains hotness counters for each data block ... that are
+//! incremented once they are needed by a query, and slowly and
+//! stochastically decay over time if not used" (the classification
+//! strategy is LeanStore-inspired). Under memory pressure the memory
+//! monitor compresses bricks coldest-first; under surplus it decompresses
+//! hottest-first.
+//!
+//! This module owns the counter mechanics and the compress/decompress
+//! *ordering policy*; the actual state changes are applied by the
+//! partition store, which owns the bricks.
+
+use scalewall_sim::SimRng;
+
+/// A single brick's hotness counter.
+///
+/// Saturating increments on touch; stochastic halving on decay passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hotness(pub u32);
+
+impl Hotness {
+    /// Record one access.
+    pub fn touch(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// One decay pass: with probability `p`, halve the counter.
+    /// Stochasticity avoids synchronized cliffs across millions of bricks.
+    pub fn decay(&mut self, p: f64, rng: &mut SimRng) {
+        if self.0 > 0 && rng.chance(p) {
+            self.0 /= 2;
+        }
+    }
+
+    /// Classification against a threshold.
+    pub fn is_hot(&self, threshold: u32) -> bool {
+        self.0 >= threshold
+    }
+}
+
+/// Memory-monitor policy parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryMonitorConfig {
+    /// Node memory budget in bytes: compression starts above this.
+    pub budget_bytes: u64,
+    /// Decompression resumes below this fraction of the budget
+    /// (hysteresis so the monitor does not thrash at the boundary).
+    pub low_watermark: f64,
+    /// Counter value at which a brick counts as *hot* (Fig 4e split).
+    pub hot_threshold: u32,
+    /// Per-pass halving probability for decay.
+    pub decay_probability: f64,
+}
+
+impl Default for MemoryMonitorConfig {
+    fn default() -> Self {
+        MemoryMonitorConfig {
+            budget_bytes: 8 << 30, // 8 GiB of the host for data
+            low_watermark: 0.8,
+            hot_threshold: 4,
+            decay_probability: 0.1,
+        }
+    }
+}
+
+/// What the memory monitor decided for one pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MonitorPlan {
+    /// Brick keys to compress, coldest first.
+    pub compress: Vec<u64>,
+    /// Brick keys to decompress, hottest first.
+    pub decompress: Vec<u64>,
+}
+
+/// Compute a compression plan.
+///
+/// * `footprint` — current bytes in memory.
+/// * `uncompressed` — candidate bricks `(key, hotness, payload_bytes)`
+///   currently uncompressed.
+/// * `compressed` — candidate bricks `(key, hotness, decompressed_bytes)`
+///   currently compressed.
+///
+/// If over budget: compress coldest-first until projected footprint fits
+/// (compression is conservatively assumed to reclaim 75 % of a brick's
+/// payload — the monitor re-runs next pass with real numbers). If under
+/// the low watermark: decompress hottest-first while staying under budget.
+pub fn plan(
+    config: &MemoryMonitorConfig,
+    footprint: u64,
+    uncompressed: &[(u64, Hotness, u64)],
+    compressed: &[(u64, Hotness, u64)],
+) -> MonitorPlan {
+    let mut plan = MonitorPlan::default();
+    if footprint > config.budget_bytes {
+        let mut need = footprint - config.budget_bytes;
+        let mut candidates: Vec<&(u64, Hotness, u64)> = uncompressed.iter().collect();
+        // Coldest first; ties by key for determinism.
+        candidates.sort_by_key(|(k, h, _)| (h.0, *k));
+        for (key, _, bytes) in candidates {
+            if need == 0 {
+                break;
+            }
+            let reclaim = bytes * 3 / 4;
+            plan.compress.push(*key);
+            need = need.saturating_sub(reclaim);
+        }
+    } else if (footprint as f64) < config.budget_bytes as f64 * config.low_watermark {
+        let mut room = (config.budget_bytes as f64 * config.low_watermark) as u64 - footprint;
+        let mut candidates: Vec<&(u64, Hotness, u64)> = compressed.iter().collect();
+        // Hottest first; ties by key.
+        candidates.sort_by_key(|(k, h, _)| (std::cmp::Reverse(h.0), *k));
+        for (key, hot, bytes) in candidates {
+            // Only bring back bricks that are actually warm; cold data can
+            // stay compressed forever.
+            if hot.0 == 0 {
+                break;
+            }
+            // Growth = decompressed − compressed ≈ 75 % of payload.
+            let growth = bytes * 3 / 4;
+            if growth > room {
+                break;
+            }
+            plan.decompress.push(*key);
+            room -= growth;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_and_saturate() {
+        let mut h = Hotness::default();
+        h.touch();
+        h.touch();
+        assert_eq!(h.0, 2);
+        let mut h = Hotness(u32::MAX);
+        h.touch();
+        assert_eq!(h.0, u32::MAX);
+    }
+
+    #[test]
+    fn decay_halves_probabilistically() {
+        let mut rng = SimRng::new(1);
+        let mut counters = vec![Hotness(100); 10_000];
+        for c in &mut counters {
+            c.decay(0.5, &mut rng);
+        }
+        let halved = counters.iter().filter(|c| c.0 == 50).count();
+        assert!((halved as f64 / 10_000.0 - 0.5).abs() < 0.03, "{halved}");
+        // p=0 never decays; p=1 always does.
+        let mut c = Hotness(8);
+        c.decay(0.0, &mut rng);
+        assert_eq!(c.0, 8);
+        c.decay(1.0, &mut rng);
+        assert_eq!(c.0, 4);
+    }
+
+    #[test]
+    fn repeated_decay_reaches_zero() {
+        let mut rng = SimRng::new(2);
+        let mut c = Hotness(1_000);
+        for _ in 0..200 {
+            c.decay(0.5, &mut rng);
+        }
+        assert_eq!(c.0, 0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Hotness(4).is_hot(4));
+        assert!(!Hotness(3).is_hot(4));
+    }
+
+    fn config(budget: u64) -> MemoryMonitorConfig {
+        MemoryMonitorConfig {
+            budget_bytes: budget,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn over_budget_compresses_coldest_first() {
+        let uncompressed = vec![
+            (1u64, Hotness(10), 1_000u64),
+            (2, Hotness(0), 1_000),
+            (3, Hotness(5), 1_000),
+        ];
+        let p = plan(&config(2_000), 3_000, &uncompressed, &[]);
+        assert_eq!(
+            p.compress,
+            vec![2, 3],
+            "coldest until reclaim covers overage"
+        );
+        assert!(p.decompress.is_empty());
+    }
+
+    #[test]
+    fn under_watermark_decompresses_hottest_first() {
+        let compressed = vec![
+            (1u64, Hotness(1), 1_000u64),
+            (2, Hotness(9), 1_000),
+            (3, Hotness(0), 1_000),
+        ];
+        // budget 10k, watermark 8k, footprint 5k → 3k room.
+        let p = plan(&config(10_000), 5_000, &[], &compressed);
+        assert_eq!(
+            p.decompress,
+            vec![2, 1],
+            "hottest first, cold stays compressed"
+        );
+        assert!(p.compress.is_empty());
+    }
+
+    #[test]
+    fn in_band_does_nothing() {
+        let p = plan(
+            &config(10_000),
+            9_000,
+            &[(1, Hotness(0), 100)],
+            &[(2, Hotness(9), 100)],
+        );
+        assert!(p.compress.is_empty());
+        assert!(p.decompress.is_empty());
+    }
+
+    #[test]
+    fn decompression_respects_room() {
+        let compressed = vec![(1u64, Hotness(9), 10_000u64), (2, Hotness(8), 100)];
+        // Room = 8k − 7.9k = 100 bytes: brick 1 (growth 7.5k) won't fit,
+        // and the policy stops at the first non-fitting brick.
+        let p = plan(&config(10_000), 7_900, &[], &compressed);
+        assert!(p.decompress.is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_key() {
+        let uncompressed = vec![(9u64, Hotness(0), 100u64), (4, Hotness(0), 100)];
+        let p = plan(&config(0), 150, &uncompressed, &[]);
+        assert_eq!(p.compress, vec![4, 9]);
+    }
+}

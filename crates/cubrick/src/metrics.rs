@@ -1,0 +1,160 @@
+//! Load-balancing metric generations (§IV-F).
+//!
+//! What a Cubrick server reports to Shard Manager changed three times as
+//! the storage engine evolved:
+//!
+//! * **Gen 1** — shard size = actual memory footprint; host capacity =
+//!   90 % of physical memory. Broke when adaptive compression made
+//!   footprints depend on the *host's* pressure, not the shard.
+//! * **Gen 2** — shard size = *decompressed* size (deterministic, moves
+//!   with the shard); capacity = memory × observed fleet compression
+//!   ratio.
+//! * **Gen 3** — SSD era: shard size = SSD footprint, capacity = SSD
+//!   bytes; working-set size tracked as a candidate secondary metric (an
+//!   open problem in the paper).
+
+/// Which generation of metrics a node exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricGeneration {
+    Gen1MemoryFootprint,
+    Gen2DecompressedSize,
+    Gen3SsdFootprint,
+}
+
+/// Inputs for computing one shard's reported size.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSizeInputs {
+    pub memory_footprint: u64,
+    pub decompressed_bytes: u64,
+    pub ssd_bytes: u64,
+    pub working_set_bytes: u64,
+}
+
+/// Inputs for computing a host's reported capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityInputs {
+    pub physical_memory_bytes: u64,
+    /// Average compression ratio observed in production (gen 2 scaling).
+    pub observed_compression_ratio: f64,
+    pub ssd_capacity_bytes: u64,
+}
+
+/// Fraction of physical memory reserved for kernel and basic services
+/// ("90 % of the available memory", §IV-F1).
+pub const MEMORY_HEADROOM: f64 = 0.9;
+
+impl MetricGeneration {
+    /// The per-shard size reported to SM.
+    pub fn shard_size(self, inputs: &ShardSizeInputs) -> f64 {
+        match self {
+            MetricGeneration::Gen1MemoryFootprint => inputs.memory_footprint as f64,
+            MetricGeneration::Gen2DecompressedSize => inputs.decompressed_bytes as f64,
+            MetricGeneration::Gen3SsdFootprint => {
+                // Data not yet evicted still counts at its compressed-on-
+                // disk-equivalent size; use SSD bytes when present,
+                // otherwise fall back to decompressed (pre-eviction).
+                if inputs.ssd_bytes > 0 {
+                    inputs.ssd_bytes as f64
+                } else {
+                    inputs.decompressed_bytes as f64
+                }
+            }
+        }
+    }
+
+    /// The host capacity reported to SM.
+    pub fn host_capacity(self, inputs: &CapacityInputs) -> f64 {
+        match self {
+            MetricGeneration::Gen1MemoryFootprint => {
+                inputs.physical_memory_bytes as f64 * MEMORY_HEADROOM
+            }
+            MetricGeneration::Gen2DecompressedSize => {
+                inputs.physical_memory_bytes as f64
+                    * MEMORY_HEADROOM
+                    * inputs.observed_compression_ratio.max(1.0)
+            }
+            MetricGeneration::Gen3SsdFootprint => inputs.ssd_capacity_bytes as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> ShardSizeInputs {
+        ShardSizeInputs {
+            memory_footprint: 100,
+            decompressed_bytes: 400,
+            ssd_bytes: 50,
+            working_set_bytes: 30,
+        }
+    }
+
+    #[test]
+    fn gen1_reports_footprint() {
+        assert_eq!(
+            MetricGeneration::Gen1MemoryFootprint.shard_size(&inputs()),
+            100.0
+        );
+    }
+
+    #[test]
+    fn gen2_reports_decompressed_size() {
+        assert_eq!(
+            MetricGeneration::Gen2DecompressedSize.shard_size(&inputs()),
+            400.0
+        );
+        // Invariant: compression state changes footprint but not gen-2 size.
+        let mut compressed = inputs();
+        compressed.memory_footprint = 10;
+        assert_eq!(
+            MetricGeneration::Gen2DecompressedSize.shard_size(&compressed),
+            MetricGeneration::Gen2DecompressedSize.shard_size(&inputs())
+        );
+    }
+
+    #[test]
+    fn gen3_prefers_ssd_bytes() {
+        assert_eq!(
+            MetricGeneration::Gen3SsdFootprint.shard_size(&inputs()),
+            50.0
+        );
+        let mut pre_eviction = inputs();
+        pre_eviction.ssd_bytes = 0;
+        assert_eq!(
+            MetricGeneration::Gen3SsdFootprint.shard_size(&pre_eviction),
+            400.0
+        );
+    }
+
+    #[test]
+    fn capacities() {
+        let c = CapacityInputs {
+            physical_memory_bytes: 1_000,
+            observed_compression_ratio: 3.0,
+            ssd_capacity_bytes: 10_000,
+        };
+        assert_eq!(
+            MetricGeneration::Gen1MemoryFootprint.host_capacity(&c),
+            900.0
+        );
+        assert_eq!(
+            MetricGeneration::Gen2DecompressedSize.host_capacity(&c),
+            2_700.0
+        );
+        assert_eq!(
+            MetricGeneration::Gen3SsdFootprint.host_capacity(&c),
+            10_000.0
+        );
+        // Ratios below 1 never shrink capacity under gen 2.
+        let c2 = CapacityInputs {
+            observed_compression_ratio: 0.5,
+            ..c
+        };
+        assert_eq!(
+            MetricGeneration::Gen2DecompressedSize.host_capacity(&c2),
+            900.0
+        );
+    }
+}

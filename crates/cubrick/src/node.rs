@@ -1,0 +1,818 @@
+//! The Cubrick server (one per host).
+//!
+//! A node owns a set of SM shards, answers partition-local queries over
+//! the data those shards map to, runs the adaptive-compression memory
+//! monitor, and implements Shard Manager's `AppServer` endpoints —
+//! including the shard-collision veto of §IV-A: a migration that would
+//! co-locate two shards holding partitions of the same table is rejected
+//! with a non-retryable error.
+//!
+//! ## Data placement model
+//!
+//! Production Cubrick keeps three full copies of every table, one per
+//! region (§IV-D). The reproduction mirrors that durability model
+//! directly: each region has a [`RegionStore`] holding the authoritative
+//! columnar data for every `(table, partition)`; nodes *own* shards (and
+//! with them, partitions) and serve queries against the region store.
+//! Migration and failover transfer ownership — with realistic copy time
+//! simulated by SM — while the bytes' existence is guaranteed by the
+//! three-region redundancy, exactly as in the paper's failover workflow
+//! ("data and metadata are copied from a healthy server in a different
+//! region"). This keeps the whole data path (ingest, scan, compress)
+//! real without simulating byte shipment.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use scalewall_shard_manager::{
+    AddShardReason, AppError, AppServer, HostId, Region, ShardContext, ShardId,
+};
+use scalewall_sim::SimRng;
+
+use crate::catalog::SharedCatalog;
+use crate::error::{CubrickError, CubrickResult};
+use crate::hotness::MemoryMonitorConfig;
+use crate::metrics::{CapacityInputs, MetricGeneration, ShardSizeInputs};
+use crate::query::result::PartialResult;
+use crate::query::{execute_partition, Query};
+use crate::store::PartitionData;
+use crate::value::Row;
+
+/// A region's authoritative partition data.
+#[derive(Debug, Default)]
+pub struct RegionStore {
+    partitions: HashMap<(Arc<str>, u32), PartitionData>,
+}
+
+impl RegionStore {
+    pub fn new() -> Self {
+        RegionStore::default()
+    }
+
+    /// Ingest a row into a table partition, creating it on first touch.
+    pub fn ingest(
+        &mut self,
+        table: &Arc<str>,
+        partition: u32,
+        schema: &Arc<crate::schema::Schema>,
+        row: &Row,
+    ) -> CubrickResult<()> {
+        self.partitions
+            .entry((table.clone(), partition))
+            .or_insert_with(|| PartitionData::new(schema.clone()))
+            .ingest(row)
+    }
+
+    pub fn partition(&self, table: &str, partition: u32) -> Option<&PartitionData> {
+        // Arc<str> keys hash like &str through Borrow — but tuple keys
+        // don't, so probe by iteration-free reconstruction.
+        self.partitions.get(&(Arc::from(table), partition))
+    }
+
+    pub fn partition_mut(&mut self, table: &str, partition: u32) -> Option<&mut PartitionData> {
+        self.partitions.get_mut(&(Arc::from(table), partition))
+    }
+
+    /// Replace a table's partitions wholesale (re-partitioning).
+    pub fn replace_table(&mut self, table: &str, new_partitions: Vec<(u32, PartitionData)>) {
+        self.partitions.retain(|(t, _), _| t.as_ref() != table);
+        let table: Arc<str> = Arc::from(table);
+        for (p, data) in new_partitions {
+            self.partitions.insert((table.clone(), p), data);
+        }
+    }
+
+    pub fn drop_table(&mut self, table: &str) {
+        self.partitions.retain(|(t, _), _| t.as_ref() != table);
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// All `(table, partition)` keys, sorted (deterministic iteration).
+    pub fn keys(&self) -> Vec<(Arc<str>, u32)> {
+        let mut keys: Vec<_> = self.partitions.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// Region store shared by all nodes of one region.
+pub type SharedRegionStore = Arc<RwLock<RegionStore>>;
+
+/// Node configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    pub host: HostId,
+    pub region: Region,
+    /// Physical memory dedicated to data.
+    pub memory_budget_bytes: u64,
+    pub metric_generation: MetricGeneration,
+    /// Fleet-observed compression ratio (gen-2 capacity scaling).
+    pub observed_compression_ratio: f64,
+    pub ssd_capacity_bytes: u64,
+    /// Hotness threshold and decay for the memory monitor.
+    pub hot_threshold: u32,
+    pub decay_probability: f64,
+    /// Seed for the node's private RNG (decay stochasticity).
+    pub rng_seed: u64,
+}
+
+impl NodeConfig {
+    pub fn new(host: HostId, region: Region) -> Self {
+        NodeConfig {
+            host,
+            region,
+            memory_budget_bytes: 8 << 30,
+            metric_generation: MetricGeneration::Gen2DecompressedSize,
+            observed_compression_ratio: 3.0,
+            ssd_capacity_bytes: 64 << 30,
+            hot_threshold: 4,
+            decay_probability: 0.1,
+            rng_seed: host.0 ^ 0xC0B1,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardState {
+    /// Data copy still in flight (queries must not be served yet).
+    loading: bool,
+}
+
+/// The Cubrick server process on one host.
+pub struct CubrickNode {
+    config: NodeConfig,
+    catalog: SharedCatalog,
+    region_store: SharedRegionStore,
+    owned: HashMap<u64, ShardState>,
+    /// Shards accepted via `prepare_add_shard` but not yet added.
+    prepared: HashSet<u64>,
+    /// Shards being forwarded to a new owner (graceful drop pending).
+    forwarding: HashMap<u64, HostId>,
+    rng: SimRng,
+    /// Queries served (operational counter).
+    pub queries_served: u64,
+}
+
+impl CubrickNode {
+    pub fn new(
+        config: NodeConfig,
+        catalog: SharedCatalog,
+        region_store: SharedRegionStore,
+    ) -> Self {
+        let rng = SimRng::new(config.rng_seed);
+        CubrickNode {
+            config,
+            catalog,
+            region_store,
+            owned: HashMap::new(),
+            prepared: HashSet::new(),
+            forwarding: HashMap::new(),
+            rng,
+            queries_served: 0,
+        }
+    }
+
+    pub fn host(&self) -> HostId {
+        self.config.host
+    }
+
+    pub fn region(&self) -> Region {
+        self.config.region
+    }
+
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// Shards currently owned (sorted).
+    pub fn owned_shards(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.owned.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn owns_shard(&self, shard: u64) -> bool {
+        self.owned.contains_key(&shard)
+    }
+
+    pub fn shard_ready(&self, shard: u64) -> bool {
+        self.owned.get(&shard).is_some_and(|s| !s.loading)
+    }
+
+    pub fn is_forwarding(&self, shard: u64) -> Option<HostId> {
+        self.forwarding.get(&shard).copied()
+    }
+
+    /// The shard-collision veto (§IV-A): would accepting `shard` co-locate
+    /// it with another owned shard holding a partition of the same table?
+    fn collision_with(&self, shard: u64) -> Option<String> {
+        let catalog = self.catalog.read();
+        let incoming: HashSet<&str> = catalog
+            .partitions_of_shard(shard)
+            .iter()
+            .map(|(t, _)| t.as_ref())
+            .collect();
+        if incoming.is_empty() {
+            return None;
+        }
+        for &owned in self.owned.keys() {
+            if owned == shard {
+                continue;
+            }
+            for (table, p) in catalog.partitions_of_shard(owned) {
+                if incoming.contains(table.as_ref()) {
+                    return Some(format!(
+                        "shard {shard} would collide with owned shard {owned} ({table}#{p})"
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    // ---------------------------------------------------------------- queries
+
+    /// Execute a query over one local partition. This is the per-server
+    /// work unit a coordinator fans out.
+    pub fn execute_local(&mut self, query: &Query, partition: u32) -> CubrickResult<PartialResult> {
+        let (shard, table_partitions, schema, table_arc) = {
+            let catalog = self.catalog.read();
+            let def = catalog.get(&query.table)?;
+            if partition >= def.partitions {
+                return Err(CubrickError::PartitionUnavailable {
+                    table: query.table.clone(),
+                    partition,
+                });
+            }
+            (
+                def.shard_of(partition, catalog.max_shards()),
+                def.partitions,
+                def.schema.clone(),
+                def.name.clone(),
+            )
+        };
+        match self.owned.get(&shard) {
+            None => {
+                return Err(CubrickError::ShardNotOwned {
+                    table: query.table.clone(),
+                    partition,
+                })
+            }
+            Some(state) if state.loading => {
+                return Err(CubrickError::ShardLoading {
+                    table: query.table.clone(),
+                    partition,
+                })
+            }
+            Some(_) => {}
+        }
+        let mut store = self.region_store.write();
+        let data = match store.partition_mut(&query.table, partition) {
+            Some(d) => d,
+            None => {
+                // Partition exists in metadata but holds no rows yet: an
+                // empty result, not an error.
+                drop(store);
+                self.queries_served += 1;
+                let mut empty = PartitionData::new(schema);
+                let _ = table_arc;
+                return execute_partition(&mut empty, query, table_partitions);
+            }
+        };
+        let result = execute_partition(data, query, table_partitions);
+        drop(store);
+        self.queries_served += 1;
+        result
+    }
+
+    // ------------------------------------------------------------ maintenance
+
+    /// One decay pass over all owned partitions' hotness counters.
+    pub fn decay_pass(&mut self) {
+        let keys = self.owned_partition_keys();
+        let mut store = self.region_store.write();
+        for (table, p) in keys {
+            if let Some(data) = store.partition_mut(&table, p) {
+                data.decay_pass(self.config.decay_probability, &mut self.rng);
+            }
+        }
+    }
+
+    /// Run the adaptive-compression memory monitor: apportion the node
+    /// budget over owned partitions by decompressed share, then let each
+    /// partition compress/decompress. Returns (compressed, decompressed)
+    /// brick totals.
+    pub fn run_memory_monitor(&mut self) -> (usize, usize) {
+        let keys = self.owned_partition_keys();
+        let mut store = self.region_store.write();
+        let total_decompressed: u64 = keys
+            .iter()
+            .filter_map(|(t, p)| store.partition(t, *p))
+            .map(|d| d.decompressed_bytes())
+            .sum();
+        if total_decompressed == 0 {
+            return (0, 0);
+        }
+        let mut totals = (0usize, 0usize);
+        for (table, p) in keys {
+            if let Some(data) = store.partition_mut(&table, p) {
+                let share = data.decompressed_bytes() as f64 / total_decompressed as f64;
+                let config = MemoryMonitorConfig {
+                    budget_bytes: (self.config.memory_budget_bytes as f64 * share) as u64,
+                    hot_threshold: self.config.hot_threshold,
+                    decay_probability: self.config.decay_probability,
+                    ..Default::default()
+                };
+                let (c, d) = data.run_memory_monitor(&config);
+                totals.0 += c;
+                totals.1 += d;
+            }
+        }
+        totals
+    }
+
+    /// Gen-3 eviction pass (§IV-F3): when compression alone cannot fit
+    /// the node under its memory budget, push the coldest *compressed*
+    /// bricks out to SSD until it does. Returns bricks evicted.
+    pub fn run_ssd_eviction(&mut self) -> usize {
+        let footprint = self.memory_footprint();
+        if footprint <= self.config.memory_budget_bytes {
+            return 0;
+        }
+        let mut to_free = footprint - self.config.memory_budget_bytes;
+        let keys = self.owned_partition_keys();
+        let mut store = self.region_store.write();
+        let mut evicted = 0usize;
+        for (table, p) in keys {
+            if to_free == 0 {
+                break;
+            }
+            if let Some(data) = store.partition_mut(&table, p) {
+                let before = data.memory_footprint();
+                evicted += data.evict_coldest(to_free);
+                let freed = before.saturating_sub(data.memory_footprint());
+                to_free = to_free.saturating_sub(freed);
+            }
+        }
+        evicted
+    }
+
+    /// Bytes currently resident in memory across owned partitions.
+    pub fn memory_footprint(&self) -> u64 {
+        let keys = self.owned_partition_keys();
+        let store = self.region_store.read();
+        keys.iter()
+            .filter_map(|(t, p)| store.partition(t, *p))
+            .map(|d| d.memory_footprint())
+            .sum()
+    }
+
+    /// Hotness snapshot across owned partitions (Fig 4e):
+    /// `(table, partition, brick_id, counter)`.
+    pub fn hotness_snapshot(&self) -> Vec<(Arc<str>, u32, u64, u32)> {
+        let keys = self.owned_partition_keys();
+        let store = self.region_store.read();
+        let mut out = Vec::new();
+        for (table, p) in keys {
+            if let Some(data) = store.partition(&table, p) {
+                for (brick, counter) in data.hotness_snapshot() {
+                    out.push((table.clone(), p, brick, counter));
+                }
+            }
+        }
+        out
+    }
+
+    /// `(table, partition)` pairs this node currently owns, sorted.
+    pub fn owned_partition_keys(&self) -> Vec<(Arc<str>, u32)> {
+        let catalog = self.catalog.read();
+        let mut keys: Vec<(Arc<str>, u32)> = self
+            .owned
+            .keys()
+            .flat_map(|&s| catalog.partitions_of_shard(s).iter().cloned())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    fn shard_size_inputs(&self, shard: u64) -> ShardSizeInputs {
+        let catalog = self.catalog.read();
+        let store = self.region_store.read();
+        let mut inputs = ShardSizeInputs::default();
+        for (table, p) in catalog.partitions_of_shard(shard) {
+            if let Some(data) = store.partition(table, *p) {
+                inputs.memory_footprint += data.memory_footprint();
+                inputs.decompressed_bytes += data.decompressed_bytes();
+                inputs.ssd_bytes += data.ssd_bytes();
+                inputs.working_set_bytes += data.working_set_bytes(self.config.hot_threshold);
+            }
+        }
+        inputs
+    }
+}
+
+impl AppServer for CubrickNode {
+    fn prepare_add_shard(&mut self, ctx: ShardContext) -> Result<(), AppError> {
+        if ctx.reason != AddShardReason::NewAllocation {
+            if let Some(reason) = self.collision_with(ctx.shard.0) {
+                return Err(AppError::non_retryable(reason));
+            }
+        }
+        self.prepared.insert(ctx.shard.0);
+        Ok(())
+    }
+
+    fn add_shard(&mut self, ctx: ShardContext) -> Result<(), AppError> {
+        // "This approach, however, does not prevent collisions at table
+        // creation time" — the veto applies to migrations only (§IV-A).
+        if ctx.reason != AddShardReason::NewAllocation {
+            if let Some(reason) = self.collision_with(ctx.shard.0) {
+                return Err(AppError::non_retryable(reason));
+            }
+        }
+        self.prepared.remove(&ctx.shard.0);
+        let loading = ctx.reason != AddShardReason::NewAllocation;
+        self.owned.insert(ctx.shard.0, ShardState { loading });
+        Ok(())
+    }
+
+    fn on_copy_complete(&mut self, ctx: ShardContext) {
+        if let Some(state) = self.owned.get_mut(&ctx.shard.0) {
+            state.loading = false;
+        }
+    }
+
+    fn prepare_drop_shard(&mut self, ctx: ShardContext, target: HostId) -> Result<(), AppError> {
+        if !self.owned.contains_key(&ctx.shard.0) {
+            return Err(AppError::retryable("shard not owned here"));
+        }
+        self.forwarding.insert(ctx.shard.0, target);
+        Ok(())
+    }
+
+    fn drop_shard(&mut self, ctx: ShardContext) -> Result<(), AppError> {
+        self.forwarding.remove(&ctx.shard.0);
+        self.prepared.remove(&ctx.shard.0);
+        // Ownership is relinquished; the bytes remain in the region store
+        // (they belong to the table, which has redundant copies per
+        // region — see the module docs' data placement model).
+        self.owned
+            .remove(&ctx.shard.0)
+            .map(|_| ())
+            .ok_or_else(|| AppError::retryable("shard not owned here"))
+    }
+
+    fn shard_metrics(&self) -> Vec<(ShardId, f64)> {
+        let mut out: Vec<(ShardId, f64)> = self
+            .owned
+            .keys()
+            .map(|&s| {
+                let inputs = self.shard_size_inputs(s);
+                (
+                    ShardId(s),
+                    self.config.metric_generation.shard_size(&inputs),
+                )
+            })
+            .collect();
+        out.sort_by_key(|&(s, _)| s);
+        out
+    }
+
+    fn capacity(&self) -> f64 {
+        self.config
+            .metric_generation
+            .host_capacity(&CapacityInputs {
+                physical_memory_bytes: self.config.memory_budget_bytes,
+                observed_compression_ratio: self.config.observed_compression_ratio,
+                ssd_capacity_bytes: self.config.ssd_capacity_bytes,
+            })
+    }
+
+    fn shard_transfer_bytes(&self, shard: ShardId) -> u64 {
+        self.shard_size_inputs(shard.0).decompressed_bytes
+    }
+}
+
+impl std::fmt::Debug for CubrickNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CubrickNode")
+            .field("host", &self.config.host)
+            .field("region", &self.config.region)
+            .field("owned_shards", &self.owned.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{shared_catalog, RowMapping};
+    use crate::query::parse_query;
+    use crate::schema::SchemaBuilder;
+    use crate::sharding::ShardMapping;
+    use crate::value::Value;
+
+    fn schema() -> Arc<crate::schema::Schema> {
+        Arc::new(
+            SchemaBuilder::new()
+                .int_dim("ds", 0, 100, 10)
+                .str_dim("country", 100, 10)
+                .metric("clicks")
+                .build()
+                .unwrap(),
+        )
+    }
+
+    struct Fixture {
+        catalog: SharedCatalog,
+        store: SharedRegionStore,
+        node: CubrickNode,
+    }
+
+    fn fixture() -> Fixture {
+        let catalog = shared_catalog(1_000);
+        let store: SharedRegionStore = Arc::new(RwLock::new(RegionStore::new()));
+        let node = CubrickNode::new(
+            NodeConfig::new(HostId(1), Region(0)),
+            catalog.clone(),
+            store.clone(),
+        );
+        Fixture {
+            catalog,
+            store,
+            node,
+        }
+    }
+
+    fn ctx(shard: u64, reason: AddShardReason) -> ShardContext {
+        ShardContext {
+            shard: ShardId(shard),
+            reason,
+            source: None,
+        }
+    }
+
+    /// Create table "t" with 4 partitions and load rows; give the node
+    /// ownership of all its shards.
+    fn load_table(f: &mut Fixture) -> Vec<u64> {
+        let def = f
+            .catalog
+            .write()
+            .create_table("t", schema(), 4, RowMapping::Hash, ShardMapping::Monotonic)
+            .unwrap();
+        let shards = f.catalog.read().shards_of_table("t").unwrap();
+        for &s in &shards {
+            f.node
+                .add_shard(ctx(s, AddShardReason::NewAllocation))
+                .unwrap();
+        }
+        let mut store = f.store.write();
+        for ds in 0..100i64 {
+            for c in ["US", "BR"] {
+                let row = Row::new(vec![Value::Int(ds), Value::from(c)], vec![ds as f64]);
+                let p = def.partition_of_row(&row, 0);
+                store.ingest(&def.name, p, &def.schema, &row).unwrap();
+            }
+        }
+        drop(store);
+        shards
+    }
+
+    #[test]
+    fn add_drop_ownership() {
+        let mut f = fixture();
+        f.node
+            .add_shard(ctx(5, AddShardReason::NewAllocation))
+            .unwrap();
+        assert!(f.node.owns_shard(5));
+        assert!(
+            f.node.shard_ready(5),
+            "new allocations are immediately ready"
+        );
+        f.node
+            .drop_shard(ctx(5, AddShardReason::NewAllocation))
+            .unwrap();
+        assert!(!f.node.owns_shard(5));
+        assert!(f
+            .node
+            .drop_shard(ctx(5, AddShardReason::NewAllocation))
+            .is_err());
+    }
+
+    #[test]
+    fn migrated_shard_loads_until_copy_completes() {
+        let mut f = fixture();
+        f.node.add_shard(ctx(9, AddShardReason::Failover)).unwrap();
+        assert!(f.node.owns_shard(9));
+        assert!(!f.node.shard_ready(9));
+        f.node.on_copy_complete(ctx(9, AddShardReason::Failover));
+        assert!(f.node.shard_ready(9));
+    }
+
+    #[test]
+    fn collision_veto_on_migration_only() {
+        let mut f = fixture();
+        let shards = load_table(&mut f);
+        // Node owns shards[0..4]. A second node would own nothing of "t";
+        // simulate SM migrating another shard of "t" onto this node: veto.
+        let mut other = CubrickNode::new(
+            NodeConfig::new(HostId(2), Region(0)),
+            f.catalog.clone(),
+            f.store.clone(),
+        );
+        // other owns shard[0]; bringing shard[1] of the same table to a
+        // node that owns shard[0] must veto.
+        other
+            .add_shard(ctx(shards[0], AddShardReason::NewAllocation))
+            .unwrap();
+        let err = other
+            .add_shard(ctx(shards[1], AddShardReason::LiveMigration))
+            .unwrap_err();
+        assert!(!err.is_retryable());
+        let err = other
+            .prepare_add_shard(ctx(shards[1], AddShardReason::LiveMigration))
+            .unwrap_err();
+        assert!(!err.is_retryable());
+        // New allocations are not vetoed (collisions at creation time are
+        // possible by design).
+        other
+            .add_shard(ctx(shards[1], AddShardReason::NewAllocation))
+            .unwrap();
+    }
+
+    #[test]
+    fn query_over_owned_partitions() {
+        let mut f = fixture();
+        load_table(&mut f);
+        let query = parse_query("select sum(clicks) from t where country = 'US'").unwrap();
+        let mut merged: Option<PartialResult> = None;
+        for p in 0..4 {
+            let part = f.node.execute_local(&query, p).unwrap();
+            match &mut merged {
+                Some(m) => m.merge(&part),
+                None => merged = Some(part),
+            }
+        }
+        let out = merged.unwrap().finalize();
+        let oracle: f64 = (0..100).map(|v| v as f64).sum();
+        assert_eq!(out.scalar(), Some(oracle));
+        assert_eq!(out.table_partitions, 4);
+        assert_eq!(f.node.queries_served, 4);
+    }
+
+    #[test]
+    fn query_errors() {
+        let mut f = fixture();
+        let shards = load_table(&mut f);
+        let query = parse_query("select count(*) from t").unwrap();
+        // Unowned shard.
+        f.node
+            .drop_shard(ctx(shards[2], AddShardReason::NewAllocation))
+            .unwrap();
+        assert!(matches!(
+            f.node.execute_local(&query, 2),
+            Err(CubrickError::ShardNotOwned { .. })
+        ));
+        // Loading shard: drop the node's other shards of "t" first so the
+        // failover add is not (correctly) vetoed as a collision.
+        for &s in &shards {
+            if s != shards[2] {
+                f.node
+                    .drop_shard(ctx(s, AddShardReason::NewAllocation))
+                    .unwrap();
+            }
+        }
+        f.node
+            .add_shard(ctx(shards[2], AddShardReason::Failover))
+            .unwrap();
+        assert!(matches!(
+            f.node.execute_local(&query, 2),
+            Err(CubrickError::ShardLoading { .. })
+        ));
+        // Bad partition index.
+        assert!(matches!(
+            f.node.execute_local(&query, 99),
+            Err(CubrickError::PartitionUnavailable { .. })
+        ));
+        // Unknown table.
+        let q2 = parse_query("select count(*) from zz").unwrap();
+        assert!(matches!(
+            f.node.execute_local(&q2, 0),
+            Err(CubrickError::NoSuchTable { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_report_per_shard_sizes() {
+        let mut f = fixture();
+        let shards = load_table(&mut f);
+        let metrics = f.node.shard_metrics();
+        assert_eq!(metrics.len(), 4);
+        let total: f64 = metrics.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0);
+        for &(s, w) in &metrics {
+            assert!(shards.contains(&s.0));
+            assert!(w >= 0.0);
+        }
+        assert!(f.node.capacity() > 0.0);
+        // Transfer bytes match the gen-2 metric (decompressed size).
+        let t = f.node.shard_transfer_bytes(metrics[0].0);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn memory_monitor_respects_budget() {
+        let mut f = fixture();
+        load_table(&mut f);
+        let footprint = f.node.memory_footprint();
+        assert!(footprint > 0);
+        // Starve the node: everything compresses.
+        f.node.config.memory_budget_bytes = 1;
+        let (compressed, _) = f.node.run_memory_monitor();
+        assert!(compressed > 0);
+        assert!(f.node.memory_footprint() < footprint);
+        // Queries still correct after compression.
+        let query = parse_query("select count(*) from t").unwrap();
+        let mut total = 0.0;
+        for p in 0..4 {
+            total += f
+                .node
+                .execute_local(&query, p)
+                .unwrap()
+                .finalize()
+                .scalar()
+                .unwrap();
+        }
+        assert_eq!(total, 200.0);
+    }
+
+    #[test]
+    fn gen3_eviction_kicks_in_when_compression_is_not_enough() {
+        let mut f = fixture();
+        load_table(&mut f);
+        f.node.config.memory_budget_bytes = 1; // impossible budget
+        f.node.run_memory_monitor(); // compress everything
+        let after_compression = f.node.memory_footprint();
+        let evicted = f.node.run_ssd_eviction();
+        assert!(evicted > 0, "compressed bricks must spill to SSD");
+        assert!(f.node.memory_footprint() < after_compression);
+        // Gen-3 metrics now report SSD bytes.
+        f.node.config.metric_generation = crate::metrics::MetricGeneration::Gen3SsdFootprint;
+        let total: f64 = f.node.shard_metrics().iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0);
+        // Queries still correct (SSD reads are transparent).
+        let query = parse_query("select count(*) from t").unwrap();
+        let mut sum = 0.0;
+        for p in 0..4 {
+            sum += f
+                .node
+                .execute_local(&query, p)
+                .unwrap()
+                .finalize()
+                .scalar()
+                .unwrap();
+        }
+        assert_eq!(sum, 200.0);
+        // Under a sane budget, eviction is a no-op.
+        f.node.config.memory_budget_bytes = 1 << 30;
+        assert_eq!(f.node.run_ssd_eviction(), 0);
+    }
+
+    #[test]
+    fn forwarding_state_tracked() {
+        let mut f = fixture();
+        let shards = load_table(&mut f);
+        f.node
+            .prepare_drop_shard(ctx(shards[0], AddShardReason::LiveMigration), HostId(7))
+            .unwrap();
+        assert_eq!(f.node.is_forwarding(shards[0]), Some(HostId(7)));
+        f.node
+            .drop_shard(ctx(shards[0], AddShardReason::LiveMigration))
+            .unwrap();
+        assert_eq!(f.node.is_forwarding(shards[0]), None);
+        // prepare_drop on a shard not owned fails retryably.
+        let err = f
+            .node
+            .prepare_drop_shard(ctx(999, AddShardReason::LiveMigration), HostId(7))
+            .unwrap_err();
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn hotness_snapshot_reflects_scans() {
+        let mut f = fixture();
+        load_table(&mut f);
+        let before = f.node.hotness_snapshot();
+        assert!(before.iter().all(|&(_, _, _, h)| h == 0));
+        let query = parse_query("select count(*) from t").unwrap();
+        for p in 0..4 {
+            f.node.execute_local(&query, p).unwrap();
+        }
+        let after = f.node.hotness_snapshot();
+        assert!(after.iter().all(|&(_, _, _, h)| h == 1));
+    }
+}

@@ -1,0 +1,427 @@
+//! The Cubrick query proxy (§IV-C, §IV-D).
+//!
+//! Every query enters through a stateless proxy service which: picks the
+//! most suitable *region* (availability, then proximity), picks the
+//! *coordinator partition* (randomized via a partition-count cache, the
+//! fourth and final strategy of §IV-C), enforces admission control,
+//! blacklists repeatedly-failing hosts, and transparently retries
+//! retryable failures in another region.
+//!
+//! The proxy holds no query state; the cluster driver calls these policy
+//! methods around its simulated network operations.
+
+use std::collections::HashMap;
+
+use scalewall_shard_manager::{HostId, Region};
+use scalewall_sim::{SimDuration, SimRng, SimTime};
+
+use crate::error::{CubrickError, CubrickResult};
+
+/// The coordinator-selection strategies Cubrick iterated through (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinatorStrategy {
+    /// 1. Always forward to partition 0 — imbalanced coordinators.
+    AlwaysPartitionZero,
+    /// 2. Partition 0 forwards to a random partition — extra network hop.
+    ForwardFromZero,
+    /// 3. Fetch the current partition count first — extra round trip.
+    QueryThenRandom,
+    /// 4. Cached partition count, random partition — production strategy.
+    CachedRandom,
+}
+
+/// The outcome of coordinator selection, including the costs the strategy
+/// incurs (the Fig 5-adjacent trade-offs of §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordinatorChoice {
+    pub partition: u32,
+    /// Strategy needed an extra metadata round trip before the query.
+    pub extra_roundtrip: bool,
+    /// Strategy routes through partition 0 first (extra data hop).
+    pub extra_hop: bool,
+}
+
+/// Proxy tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyConfig {
+    /// Retries across regions for retryable errors.
+    pub max_retries: u32,
+    /// Admission control: concurrent queries admitted.
+    pub max_concurrent_queries: usize,
+    /// Consecutive failures before a host is blacklisted.
+    pub blacklist_threshold: u32,
+    /// How long a blacklisted host stays out of rotation.
+    pub blacklist_ttl: SimDuration,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            max_retries: 2,
+            max_concurrent_queries: 10_000,
+            blacklist_threshold: 3,
+            blacklist_ttl: SimDuration::from_mins(5),
+        }
+    }
+}
+
+/// Operational counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    pub queries: u64,
+    pub retries: u64,
+    pub region_failovers: u64,
+    pub rejected_admission: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub hosts_blacklisted: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BlacklistEntry {
+    consecutive_failures: u32,
+    blacklisted_until: Option<SimTime>,
+}
+
+/// The proxy.
+#[derive(Debug)]
+pub struct CubrickProxy {
+    config: ProxyConfig,
+    /// Cached partition count per table — refreshed from query result
+    /// metadata, never by a dedicated round trip.
+    partition_cache: HashMap<String, u32>,
+    blacklist: HashMap<HostId, BlacklistEntry>,
+    active_queries: usize,
+    pub stats: ProxyStats,
+}
+
+impl CubrickProxy {
+    pub fn new(config: ProxyConfig) -> Self {
+        CubrickProxy {
+            config,
+            partition_cache: HashMap::new(),
+            blacklist: HashMap::new(),
+            active_queries: 0,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ProxyConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------- admission
+
+    /// Admit a query or reject it. Callers must pair every successful
+    /// `admit` with a `complete`.
+    pub fn admit(&mut self) -> CubrickResult<()> {
+        if self.active_queries >= self.config.max_concurrent_queries {
+            self.stats.rejected_admission += 1;
+            return Err(CubrickError::AdmissionRejected {
+                detail: format!("{} queries in flight", self.active_queries),
+            });
+        }
+        self.active_queries += 1;
+        self.stats.queries += 1;
+        Ok(())
+    }
+
+    pub fn complete(&mut self) {
+        self.active_queries = self.active_queries.saturating_sub(1);
+    }
+
+    pub fn active_queries(&self) -> usize {
+        self.active_queries
+    }
+
+    // --------------------------------------------------------------- regions
+
+    /// Pick the region to dispatch to: the client's own region when
+    /// available, otherwise the first available other region
+    /// (deterministic order). Proximity first, then availability (§IV-D).
+    pub fn choose_region(
+        &self,
+        regions: &[(Region, bool)],
+        client_region: Region,
+        exclude: &[Region],
+    ) -> CubrickResult<Region> {
+        if let Some(&(r, _)) = regions
+            .iter()
+            .find(|&&(r, up)| r == client_region && up && !exclude.contains(&r))
+        {
+            return Ok(r);
+        }
+        let mut sorted: Vec<&(Region, bool)> = regions.iter().collect();
+        sorted.sort_by_key(|(r, _)| r.0);
+        sorted
+            .into_iter()
+            .find(|&&(r, up)| up && !exclude.contains(&r))
+            .map(|&(r, _)| r)
+            .ok_or(CubrickError::NoAvailableRegion)
+    }
+
+    // ---------------------------------------------------------- coordinators
+
+    /// Select the coordinator partition under a strategy.
+    ///
+    /// `actual_partitions` stands in for the metadata service answer the
+    /// `QueryThenRandom` strategy pays a round trip for; other strategies
+    /// must not rely on it.
+    pub fn choose_coordinator(
+        &mut self,
+        table: &str,
+        strategy: CoordinatorStrategy,
+        actual_partitions: u32,
+        rng: &mut SimRng,
+    ) -> CoordinatorChoice {
+        match strategy {
+            CoordinatorStrategy::AlwaysPartitionZero => CoordinatorChoice {
+                partition: 0,
+                extra_roundtrip: false,
+                extra_hop: false,
+            },
+            CoordinatorStrategy::ForwardFromZero => CoordinatorChoice {
+                partition: (rng.below(actual_partitions.max(1) as u64)) as u32,
+                extra_roundtrip: false,
+                extra_hop: true,
+            },
+            CoordinatorStrategy::QueryThenRandom => CoordinatorChoice {
+                partition: (rng.below(actual_partitions.max(1) as u64)) as u32,
+                extra_roundtrip: true,
+                extra_hop: false,
+            },
+            CoordinatorStrategy::CachedRandom => match self.partition_cache.get(table) {
+                Some(&cached) => {
+                    self.stats.cache_hits += 1;
+                    CoordinatorChoice {
+                        partition: (rng.below(cached.max(1) as u64)) as u32,
+                        extra_roundtrip: false,
+                        extra_hop: false,
+                    }
+                }
+                None => {
+                    // Cold cache: pay the round trip once; metadata from
+                    // the first result will populate the cache.
+                    self.stats.cache_misses += 1;
+                    CoordinatorChoice {
+                        partition: (rng.below(actual_partitions.max(1) as u64)) as u32,
+                        extra_roundtrip: true,
+                        extra_hop: false,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Refresh the partition-count cache from query result metadata
+    /// ("the number of partitions per table is always included as part of
+    /// query results metadata, and updates the proxy's cache").
+    pub fn record_result_metadata(&mut self, table: &str, partitions: u32) {
+        self.partition_cache.insert(table.to_string(), partitions);
+    }
+
+    pub fn cached_partitions(&self, table: &str) -> Option<u32> {
+        self.partition_cache.get(table).copied()
+    }
+
+    // ------------------------------------------------------------ blacklists
+
+    /// Record a host-attributed failure; blacklists the host once the
+    /// threshold is crossed.
+    pub fn record_host_failure(&mut self, host: HostId, now: SimTime) {
+        let entry = self.blacklist.entry(host).or_insert(BlacklistEntry {
+            consecutive_failures: 0,
+            blacklisted_until: None,
+        });
+        entry.consecutive_failures += 1;
+        if entry.consecutive_failures >= self.config.blacklist_threshold
+            && entry.blacklisted_until.is_none()
+        {
+            entry.blacklisted_until = Some(now + self.config.blacklist_ttl);
+            self.stats.hosts_blacklisted += 1;
+        }
+    }
+
+    /// A success clears the failure streak and any blacklist.
+    pub fn record_host_success(&mut self, host: HostId) {
+        self.blacklist.remove(&host);
+    }
+
+    pub fn is_blacklisted(&self, host: HostId, now: SimTime) -> bool {
+        self.blacklist
+            .get(&host)
+            .and_then(|e| e.blacklisted_until)
+            .is_some_and(|until| now < until)
+    }
+
+    // --------------------------------------------------------------- retries
+
+    /// Whether the proxy should retry after `error` on attempt `attempt`
+    /// (0-based), and count it if so.
+    pub fn should_retry(&mut self, error: &CubrickError, attempt: u32) -> bool {
+        if attempt >= self.config.max_retries || !error.proxy_retryable() {
+            return false;
+        }
+        self.stats.retries += 1;
+        self.stats.region_failovers += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proxy() -> CubrickProxy {
+        CubrickProxy::new(ProxyConfig::default())
+    }
+
+    #[test]
+    fn admission_control_caps_concurrency() {
+        let mut p = CubrickProxy::new(ProxyConfig {
+            max_concurrent_queries: 2,
+            ..Default::default()
+        });
+        p.admit().unwrap();
+        p.admit().unwrap();
+        assert!(matches!(
+            p.admit(),
+            Err(CubrickError::AdmissionRejected { .. })
+        ));
+        p.complete();
+        p.admit().unwrap();
+        assert_eq!(p.stats.rejected_admission, 1);
+        assert_eq!(p.stats.queries, 3);
+    }
+
+    #[test]
+    fn region_choice_prefers_client_then_failover() {
+        let p = proxy();
+        let regions = [(Region(0), true), (Region(1), true), (Region(2), true)];
+        assert_eq!(
+            p.choose_region(&regions, Region(1), &[]).unwrap(),
+            Region(1)
+        );
+        // Client region down → lowest available.
+        let regions = [(Region(0), true), (Region(1), false), (Region(2), true)];
+        assert_eq!(
+            p.choose_region(&regions, Region(1), &[]).unwrap(),
+            Region(0)
+        );
+        // Excluded (already tried) regions skipped.
+        assert_eq!(
+            p.choose_region(&regions, Region(1), &[Region(0)]).unwrap(),
+            Region(2)
+        );
+        // Nothing left.
+        assert!(matches!(
+            p.choose_region(&regions, Region(1), &[Region(0), Region(2)]),
+            Err(CubrickError::NoAvailableRegion)
+        ));
+    }
+
+    #[test]
+    fn strategy_one_always_zero() {
+        let mut p = proxy();
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            let c =
+                p.choose_coordinator("t", CoordinatorStrategy::AlwaysPartitionZero, 8, &mut rng);
+            assert_eq!(c.partition, 0);
+            assert!(!c.extra_hop && !c.extra_roundtrip);
+        }
+    }
+
+    #[test]
+    fn strategy_two_random_with_extra_hop() {
+        let mut p = proxy();
+        let mut rng = SimRng::new(2);
+        let choices: Vec<u32> = (0..50)
+            .map(|_| {
+                let c =
+                    p.choose_coordinator("t", CoordinatorStrategy::ForwardFromZero, 8, &mut rng);
+                assert!(c.extra_hop && !c.extra_roundtrip);
+                c.partition
+            })
+            .collect();
+        assert!(choices.iter().any(|&x| x != choices[0]), "must randomize");
+        assert!(choices.iter().all(|&x| x < 8));
+    }
+
+    #[test]
+    fn strategy_three_random_with_roundtrip() {
+        let mut p = proxy();
+        let mut rng = SimRng::new(3);
+        let c = p.choose_coordinator("t", CoordinatorStrategy::QueryThenRandom, 8, &mut rng);
+        assert!(c.extra_roundtrip && !c.extra_hop);
+    }
+
+    #[test]
+    fn strategy_four_uses_cache() {
+        let mut p = proxy();
+        let mut rng = SimRng::new(4);
+        // Cold: one round trip, counts a miss.
+        let c = p.choose_coordinator("t", CoordinatorStrategy::CachedRandom, 8, &mut rng);
+        assert!(c.extra_roundtrip);
+        assert_eq!(p.stats.cache_misses, 1);
+        // Result metadata fills the cache.
+        p.record_result_metadata("t", 8);
+        let c = p.choose_coordinator("t", CoordinatorStrategy::CachedRandom, 8, &mut rng);
+        assert!(!c.extra_roundtrip && !c.extra_hop);
+        assert_eq!(p.stats.cache_hits, 1);
+        assert!(c.partition < 8);
+        // Re-partition: metadata refresh updates the cache.
+        p.record_result_metadata("t", 16);
+        assert_eq!(p.cached_partitions("t"), Some(16));
+        let seen: std::collections::HashSet<u32> = (0..200)
+            .map(|_| {
+                p.choose_coordinator("t", CoordinatorStrategy::CachedRandom, 16, &mut rng)
+                    .partition
+            })
+            .collect();
+        assert!(
+            seen.iter().any(|&x| x >= 8),
+            "new partitions get coordinator traffic"
+        );
+    }
+
+    #[test]
+    fn blacklist_flow() {
+        let mut p = proxy();
+        let h = HostId(9);
+        let t0 = SimTime::from_secs(100);
+        for _ in 0..2 {
+            p.record_host_failure(h, t0);
+        }
+        assert!(!p.is_blacklisted(h, t0), "below threshold");
+        p.record_host_failure(h, t0);
+        assert!(p.is_blacklisted(h, t0));
+        assert_eq!(p.stats.hosts_blacklisted, 1);
+        // TTL expiry.
+        let later = t0 + SimDuration::from_mins(6);
+        assert!(!p.is_blacklisted(h, later));
+        // Success clears state entirely.
+        p.record_host_failure(h, t0);
+        p.record_host_success(h);
+        assert!(!p.is_blacklisted(h, t0));
+    }
+
+    #[test]
+    fn retry_policy() {
+        let mut p = proxy();
+        let retryable = CubrickError::PartitionUnavailable {
+            table: "t".into(),
+            partition: 0,
+        };
+        let fatal = CubrickError::Parse {
+            detail: "x".into(),
+            position: 0,
+        };
+        assert!(p.should_retry(&retryable, 0));
+        assert!(p.should_retry(&retryable, 1));
+        assert!(!p.should_retry(&retryable, 2), "max_retries=2 exhausted");
+        assert!(!p.should_retry(&fatal, 0));
+        assert_eq!(p.stats.retries, 2);
+        assert_eq!(p.stats.region_failovers, 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Single-partition query execution.
+//!
+//! This is the code path that runs on every server a query fans out to:
+//! compile predicates against the local partition, prune bricks through
+//! the granular-partitioning grid, filter surviving rows, and accumulate
+//! group-by state. Pure compute — all distribution concerns live above.
+
+use crate::error::CubrickResult;
+use crate::query::agg::AggState;
+use crate::query::expr::{self};
+use crate::query::result::{GroupVal, PartialResult};
+use crate::query::Query;
+use crate::store::PartitionData;
+
+/// Execute `query` over one partition, producing a mergeable partial.
+///
+/// `table_partitions` is the table's current partition count, stamped
+/// into result metadata for the proxy's cache (§IV-C).
+pub fn execute_partition(
+    partition: &mut PartitionData,
+    query: &Query,
+    table_partitions: u32,
+) -> CubrickResult<PartialResult> {
+    let schema = partition.schema().clone();
+
+    // Resolve aggregation metric columns.
+    let mut metric_cols: Vec<Option<usize>> = Vec::with_capacity(query.aggs.len());
+    for agg in &query.aggs {
+        metric_cols.push(agg.metric_index(&schema, &query.table)?);
+    }
+
+    // Resolve group-by dimensions.
+    let mut group_dims: Vec<usize> = Vec::with_capacity(query.group_by.len());
+    for name in &query.group_by {
+        group_dims.push(schema.dim_index(name).ok_or_else(|| {
+            crate::error::CubrickError::NoSuchColumn {
+                table: query.table.clone(),
+                column: name.clone(),
+            }
+        })?);
+    }
+
+    let mut result = PartialResult::new(query.aggs.clone(), table_partitions);
+    let compiled = expr::compile(partition, &query.predicates)?;
+    if !compiled.satisfiable {
+        return Ok(result);
+    }
+
+    let agg_funcs: Vec<_> = query.aggs.iter().map(|a| a.func).collect();
+    let mut rows_scanned = 0u64;
+    let mut ordinals_buf: Vec<u32> = vec![0; schema.dimensions.len()];
+    // Accumulate on raw ordinals during the scan; decode keys once at the
+    // end (decoding per row would dominate the scan).
+    let mut raw_groups: std::collections::HashMap<Vec<u32>, Vec<AggState>> =
+        std::collections::HashMap::new();
+
+    partition.for_each_matching_brick(&compiled.per_dim, |brick| {
+        'row: for r in 0..brick.rows() {
+            // Residual filter at row granularity (buckets are coarse).
+            for (d, col) in brick.dims.iter().enumerate() {
+                ordinals_buf[d] = col[r];
+            }
+            if !compiled.row_matches(&ordinals_buf) {
+                continue 'row;
+            }
+            rows_scanned += 1;
+            // Group key as raw ordinals; decoded after the scan.
+            let key: Vec<u32> = group_dims.iter().map(|&d| brick.dims[d][r]).collect();
+            let entry = raw_groups.entry(key).or_insert_with(|| {
+                agg_funcs
+                    .iter()
+                    .map(|&f| AggState::init(f))
+                    .collect::<Vec<_>>()
+            });
+            for (i, state) in entry.iter_mut().enumerate() {
+                let v = match metric_cols[i] {
+                    Some(m) => brick.metrics[m][r],
+                    None => 0.0, // count(*) ignores the value
+                };
+                state.update(v);
+            }
+        }
+    });
+
+    // Decode ordinal group keys to logical values.
+    for (raw_key, states) in raw_groups {
+        let decoded: Vec<GroupVal> = raw_key
+            .iter()
+            .zip(&group_dims)
+            .map(|(&ord, &d)| match partition.dict(d) {
+                Some(dict) => {
+                    GroupVal::Str(dict.decode(ord).expect("ordinal encoded here").to_string())
+                }
+                None => GroupVal::Int(schema.dimensions[d].int_value(ord).expect("int dim")),
+            })
+            .collect();
+        result.groups.insert(decoded, states);
+    }
+    result.rows_scanned = rows_scanned;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::agg::{AggFunc, AggSpec};
+    use crate::query::expr::Predicate;
+    use crate::schema::SchemaBuilder;
+    use crate::value::{Row, Value};
+    use std::sync::Arc;
+
+    fn partition() -> PartitionData {
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .int_dim("ds", 0, 100, 10)
+                .str_dim("country", 100, 10)
+                .metric("clicks")
+                .metric("cost")
+                .build()
+                .unwrap(),
+        );
+        let mut p = PartitionData::new(schema);
+        // 100 days × 3 countries; clicks = ds, cost = 1.0
+        for ds in 0..100i64 {
+            for c in ["US", "BR", "IN"] {
+                p.ingest(&Row::new(
+                    vec![Value::Int(ds), Value::from(c)],
+                    vec![ds as f64, 1.0],
+                ))
+                .unwrap();
+            }
+        }
+        p
+    }
+
+    fn q(aggs: Vec<AggSpec>, predicates: Vec<Predicate>, group_by: Vec<&str>) -> Query {
+        Query {
+            table: "t".into(),
+            aggs,
+            predicates,
+            group_by: group_by.into_iter().map(String::from).collect(),
+            order_by: None,
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn count_star_full_scan() {
+        let mut p = partition();
+        let out = execute_partition(&mut p, &q(vec![AggSpec::count_star()], vec![], vec![]), 8)
+            .unwrap()
+            .finalize();
+        assert_eq!(out.scalar(), Some(300.0));
+        assert_eq!(out.table_partitions, 8);
+        assert_eq!(out.rows_scanned, 300);
+    }
+
+    #[test]
+    fn filtered_sum_matches_oracle() {
+        let mut p = partition();
+        // sum(clicks) where ds between 10 and 19 and country = 'US'
+        let query = q(
+            vec![AggSpec::new(AggFunc::Sum, "clicks")],
+            vec![
+                Predicate::between("ds", 10, 19),
+                Predicate::eq("country", "US"),
+            ],
+            vec![],
+        );
+        let out = execute_partition(&mut p, &query, 8).unwrap().finalize();
+        let oracle: f64 = (10..=19).map(|v| v as f64).sum();
+        assert_eq!(out.scalar(), Some(oracle));
+        // Pruning: only 1 of 10 ds-buckets scanned.
+        assert_eq!(p.stats().bricks_scanned, 1);
+        assert_eq!(p.stats().bricks_pruned, 9);
+    }
+
+    #[test]
+    fn residual_filter_inside_brick() {
+        let mut p = partition();
+        // ds = 15 shares a bucket with 10..=19; the row filter must trim.
+        let query = q(
+            vec![AggSpec::count_star()],
+            vec![Predicate::eq("ds", 15i64)],
+            vec![],
+        );
+        let out = execute_partition(&mut p, &query, 8).unwrap().finalize();
+        assert_eq!(out.scalar(), Some(3.0), "3 countries at ds=15");
+    }
+
+    #[test]
+    fn group_by_string_dimension() {
+        let mut p = partition();
+        let query = q(
+            vec![AggSpec::count_star(), AggSpec::new(AggFunc::Avg, "clicks")],
+            vec![],
+            vec!["country"],
+        );
+        let out = execute_partition(&mut p, &query, 8).unwrap().finalize();
+        assert_eq!(out.rows.len(), 3);
+        // Sorted: BR, IN, US.
+        assert_eq!(out.rows[0].key, vec![Value::Str("BR".into())]);
+        assert_eq!(out.rows[2].key, vec![Value::Str("US".into())]);
+        for row in &out.rows {
+            assert_eq!(row.aggs[0], 100.0);
+            assert!((row.aggs[1] - 49.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn group_by_int_dimension_with_filter() {
+        let mut p = partition();
+        let query = q(
+            vec![AggSpec::new(AggFunc::Sum, "cost")],
+            vec![Predicate::is_in("ds", vec![Value::Int(5), Value::Int(50)])],
+            vec!["ds"],
+        );
+        let out = execute_partition(&mut p, &query, 8).unwrap().finalize();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].key, vec![Value::Int(5)]);
+        assert_eq!(out.rows[0].aggs, vec![3.0]);
+        assert_eq!(out.rows[1].key, vec![Value::Int(50)]);
+    }
+
+    #[test]
+    fn min_max_metrics() {
+        let mut p = partition();
+        let query = q(
+            vec![
+                AggSpec::new(AggFunc::Min, "clicks"),
+                AggSpec::new(AggFunc::Max, "clicks"),
+            ],
+            vec![Predicate::between("ds", 20, 30)],
+            vec![],
+        );
+        let out = execute_partition(&mut p, &query, 8).unwrap().finalize();
+        assert_eq!(out.rows[0].aggs, vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_returns_empty() {
+        let mut p = partition();
+        let query = q(
+            vec![AggSpec::count_star()],
+            vec![Predicate::eq("country", "ZZ")],
+            vec![],
+        );
+        let out = execute_partition(&mut p, &query, 8).unwrap().finalize();
+        assert!(out.rows.is_empty());
+        assert_eq!(p.stats().bricks_scanned, 0, "nothing scanned at all");
+    }
+
+    #[test]
+    fn execution_identical_after_compression() {
+        let mut a = partition();
+        let mut b = partition();
+        let zero = crate::hotness::MemoryMonitorConfig {
+            budget_bytes: 0,
+            ..Default::default()
+        };
+        b.run_memory_monitor(&zero);
+        let query = q(
+            vec![AggSpec::new(AggFunc::Sum, "clicks")],
+            vec![Predicate::eq("country", "BR")],
+            vec!["ds"],
+        );
+        let out_a = execute_partition(&mut a, &query, 8).unwrap().finalize();
+        let out_b = execute_partition(&mut b, &query, 8).unwrap().finalize();
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut p = partition();
+        let query = q(vec![AggSpec::new(AggFunc::Sum, "nope")], vec![], vec![]);
+        assert!(execute_partition(&mut p, &query, 8).is_err());
+        let query = q(vec![AggSpec::count_star()], vec![], vec!["nope"]);
+        assert!(execute_partition(&mut p, &query, 8).is_err());
+    }
+}

@@ -1,0 +1,608 @@
+//! The partition store: one table partition's bricks.
+//!
+//! A `PartitionData` is what a Cubrick server holds for each table
+//! partition mapped (via the shard function) to a shard it owns. It owns
+//! the dictionaries, the brick map keyed by granular-partitioning brick
+//! id, per-brick hotness, and the three-state brick lifecycle behind the
+//! load-balancing metric generations of §IV-F:
+//!
+//! ```text
+//! Hot(Brick)            uncompressed, in memory       (gen 1 footprint)
+//! Cold(CompressedBrick) compressed, in memory         (gen 2 era)
+//! Evicted(...)          compressed, on simulated SSD  (gen 3 era)
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scalewall_sim::SimRng;
+
+use crate::brick::Brick;
+use crate::compression::CompressedBrick;
+use crate::dictionary::Dictionary;
+use crate::error::{CubrickError, CubrickResult};
+use crate::hotness::{self, Hotness, MemoryMonitorConfig};
+use crate::partition::BrickSpace;
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+
+/// Storage state of one brick.
+#[derive(Debug, Clone)]
+enum BrickState {
+    Hot(Brick),
+    Cold(CompressedBrick),
+    Evicted(CompressedBrick),
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    state: BrickState,
+    hotness: Hotness,
+}
+
+/// Scan/ingest statistics for observability and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub rows_ingested: u64,
+    pub bricks_scanned: u64,
+    pub bricks_pruned: u64,
+    pub transient_decompressions: u64,
+    pub ssd_reads: u64,
+}
+
+/// One table partition's data.
+#[derive(Debug, Clone)]
+pub struct PartitionData {
+    schema: Arc<Schema>,
+    space: BrickSpace,
+    /// Per-dimension dictionary (string dimensions only).
+    dicts: Vec<Option<Dictionary>>,
+    bricks: HashMap<u64, Slot>,
+    rows: u64,
+    stats: StoreStats,
+}
+
+impl PartitionData {
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let space = BrickSpace::from_schema(&schema);
+        let dicts = schema
+            .dimensions
+            .iter()
+            .map(|d| match d.kind {
+                crate::schema::DimKind::Str { max_cardinality } => {
+                    Some(Dictionary::new(max_cardinality))
+                }
+                crate::schema::DimKind::Int { .. } => None,
+            })
+            .collect();
+        PartitionData {
+            schema,
+            space,
+            dicts,
+            bricks: HashMap::new(),
+            rows: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn space(&self) -> &BrickSpace {
+        &self.space
+    }
+
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    pub fn brick_count(&self) -> usize {
+        self.bricks.len()
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Dictionary for a string dimension (by dimension index).
+    pub fn dict(&self, dim: usize) -> Option<&Dictionary> {
+        self.dicts.get(dim).and_then(|d| d.as_ref())
+    }
+
+    // --------------------------------------------------------------- ingest
+
+    /// Encode a row's dimension values to ordinals.
+    fn encode_dims(&mut self, row: &Row) -> CubrickResult<Vec<u32>> {
+        let mut ordinals = Vec::with_capacity(row.dims.len());
+        for (i, v) in row.dims.iter().enumerate() {
+            let dim = &self.schema.dimensions[i];
+            let ord = match (v, &dim.kind) {
+                (Value::Int(x), crate::schema::DimKind::Int { .. }) => dim.int_ordinal(*x)?,
+                (Value::Str(s), crate::schema::DimKind::Str { .. }) => {
+                    let name = dim.name.clone();
+                    self.dicts[i]
+                        .as_mut()
+                        .expect("string dim has dictionary")
+                        .encode(&name, s)?
+                }
+                (_, crate::schema::DimKind::Int { .. }) => {
+                    return Err(CubrickError::TypeMismatch {
+                        column: dim.name.clone(),
+                        expected: "int",
+                    })
+                }
+                (_, crate::schema::DimKind::Str { .. }) => {
+                    return Err(CubrickError::TypeMismatch {
+                        column: dim.name.clone(),
+                        expected: "string",
+                    })
+                }
+            };
+            ordinals.push(ord);
+        }
+        Ok(ordinals)
+    }
+
+    /// Ingest one row. Appending to a compressed brick transparently
+    /// decompresses it (writes re-heat data).
+    pub fn ingest(&mut self, row: &Row) -> CubrickResult<()> {
+        self.schema.check_row(row)?;
+        let ordinals = self.encode_dims(row)?;
+        let brick_id = self.space.brick_id(&ordinals);
+        let num_dims = self.schema.dimensions.len();
+        let num_metrics = self.schema.metrics.len();
+        let slot = self.bricks.entry(brick_id).or_insert_with(|| Slot {
+            state: BrickState::Hot(Brick::new(num_dims, num_metrics)),
+            hotness: Hotness::default(),
+        });
+        if let BrickState::Cold(c) | BrickState::Evicted(c) = &slot.state {
+            slot.state = BrickState::Hot(c.decompress());
+        }
+        match &mut slot.state {
+            BrickState::Hot(b) => b.push(&ordinals, &row.metrics),
+            _ => unreachable!("decompressed above"),
+        }
+        self.rows += 1;
+        self.stats.rows_ingested += 1;
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------- scan
+
+    /// Visit every brick matching the per-dimension ordinal constraints,
+    /// touching hotness counters. Compressed/evicted bricks are
+    /// decompressed transiently (their stored state is unchanged; the
+    /// memory monitor, not the scan, changes states).
+    pub fn for_each_matching_brick<F: FnMut(&Brick)>(
+        &mut self,
+        constraints: &[Option<Vec<(u32, u32)>>],
+        mut f: F,
+    ) {
+        // Deterministic iteration order regardless of HashMap layout.
+        let mut ids: Vec<u64> = self.bricks.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if !self.space.brick_matches(id, constraints) {
+                self.stats.bricks_pruned += 1;
+                continue;
+            }
+            let slot = self.bricks.get_mut(&id).expect("listed id");
+            slot.hotness.touch();
+            self.stats.bricks_scanned += 1;
+            match &slot.state {
+                BrickState::Hot(b) => f(b),
+                BrickState::Cold(c) => {
+                    self.stats.transient_decompressions += 1;
+                    f(&c.decompress());
+                }
+                BrickState::Evicted(c) => {
+                    self.stats.transient_decompressions += 1;
+                    self.stats.ssd_reads += 1;
+                    f(&c.decompress());
+                }
+            }
+        }
+    }
+
+    /// Decode every stored row back to logical values (repartitioning and
+    /// verification oracles).
+    pub fn all_rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.rows as usize);
+        let mut ids: Vec<u64> = self.bricks.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let slot = &self.bricks[&id];
+            let decoded;
+            let brick: &Brick = match &slot.state {
+                BrickState::Hot(b) => b,
+                BrickState::Cold(c) | BrickState::Evicted(c) => {
+                    decoded = c.decompress();
+                    &decoded
+                }
+            };
+            for r in 0..brick.rows() {
+                let dims: Vec<Value> = (0..self.schema.dimensions.len())
+                    .map(|d| {
+                        let ord = brick.dims[d][r];
+                        match &self.dicts[d] {
+                            Some(dict) => Value::Str(
+                                dict.decode(ord)
+                                    .expect("ordinal was encoded here")
+                                    .to_string(),
+                            ),
+                            None => Value::Int(
+                                self.schema.dimensions[d].int_value(ord).expect("int dim"),
+                            ),
+                        }
+                    })
+                    .collect();
+                let metrics: Vec<f64> = (0..self.schema.metrics.len())
+                    .map(|m| brick.metrics[m][r])
+                    .collect();
+                out.push(Row::new(dims, metrics));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------ footprints
+
+    /// Bytes currently resident in memory (gen-1 metric).
+    pub fn memory_footprint(&self) -> u64 {
+        let bricks: u64 = self
+            .bricks
+            .values()
+            .map(|s| match &s.state {
+                BrickState::Hot(b) => b.footprint(),
+                BrickState::Cold(c) => c.footprint(),
+                BrickState::Evicted(_) => 0,
+            })
+            .sum();
+        let dicts: u64 = self.dicts.iter().flatten().map(|d| d.footprint()).sum();
+        bricks + dicts
+    }
+
+    /// Bytes this partition would occupy fully decompressed (gen-2
+    /// metric — invariant to the node's current memory pressure).
+    pub fn decompressed_bytes(&self) -> u64 {
+        self.bricks
+            .values()
+            .map(|s| match &s.state {
+                BrickState::Hot(b) => b.payload_bytes(),
+                BrickState::Cold(c) | BrickState::Evicted(c) => c.decompressed_bytes(),
+            })
+            .sum()
+    }
+
+    /// Bytes on simulated SSD (gen-3 metric component).
+    pub fn ssd_bytes(&self) -> u64 {
+        self.bricks
+            .values()
+            .map(|s| match &s.state {
+                BrickState::Evicted(c) => c.footprint(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Payload bytes of *hot* bricks — the partition's working set
+    /// (gen-3 metric component).
+    pub fn working_set_bytes(&self, hot_threshold: u32) -> u64 {
+        self.bricks
+            .values()
+            .filter(|s| s.hotness.is_hot(hot_threshold))
+            .map(|s| match &s.state {
+                BrickState::Hot(b) => b.payload_bytes(),
+                BrickState::Cold(c) | BrickState::Evicted(c) => c.decompressed_bytes(),
+            })
+            .sum()
+    }
+
+    /// Counts of bricks by state: (hot, cold, evicted).
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for s in self.bricks.values() {
+            match s.state {
+                BrickState::Hot(_) => counts.0 += 1,
+                BrickState::Cold(_) => counts.1 += 1,
+                BrickState::Evicted(_) => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Snapshot of `(brick_id, hotness)` for Fig 4e.
+    pub fn hotness_snapshot(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self
+            .bricks
+            .iter()
+            .map(|(&id, s)| (id, s.hotness.0))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    // -------------------------------------------------------- memory monitor
+
+    /// One stochastic decay pass over all hotness counters.
+    pub fn decay_pass(&mut self, p: f64, rng: &mut SimRng) {
+        let mut ids: Vec<u64> = self.bricks.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.bricks
+                .get_mut(&id)
+                .expect("listed")
+                .hotness
+                .decay(p, rng);
+        }
+    }
+
+    /// Run the adaptive-compression monitor against a *partition-level*
+    /// byte budget. Returns (bricks compressed, bricks decompressed).
+    ///
+    /// Node-level budgets are apportioned to partitions by the node.
+    pub fn run_memory_monitor(&mut self, config: &MemoryMonitorConfig) -> (usize, usize) {
+        let footprint = self.memory_footprint();
+        let mut uncompressed = Vec::new();
+        let mut compressed = Vec::new();
+        for (&id, slot) in &self.bricks {
+            match &slot.state {
+                BrickState::Hot(b) => uncompressed.push((id, slot.hotness, b.payload_bytes())),
+                BrickState::Cold(c) => compressed.push((id, slot.hotness, c.decompressed_bytes())),
+                BrickState::Evicted(_) => {}
+            }
+        }
+        uncompressed.sort_unstable_by_key(|&(id, _, _)| id);
+        compressed.sort_unstable_by_key(|&(id, _, _)| id);
+        let plan = hotness::plan(config, footprint, &uncompressed, &compressed);
+        for &id in &plan.compress {
+            let slot = self.bricks.get_mut(&id).expect("planned brick");
+            if let BrickState::Hot(b) = &slot.state {
+                slot.state = BrickState::Cold(CompressedBrick::compress(b.clone()));
+            }
+        }
+        for &id in &plan.decompress {
+            let slot = self.bricks.get_mut(&id).expect("planned brick");
+            if let BrickState::Cold(c) = &slot.state {
+                slot.state = BrickState::Hot(c.decompress());
+            }
+        }
+        (plan.compress.len(), plan.decompress.len())
+    }
+
+    /// Gen-3 eviction: push the coldest *compressed* bricks out to SSD
+    /// until at least `bytes_to_free` of memory is reclaimed. Returns
+    /// bricks evicted.
+    pub fn evict_coldest(&mut self, bytes_to_free: u64) -> usize {
+        let mut candidates: Vec<(u64, Hotness, u64)> = self
+            .bricks
+            .iter()
+            .filter_map(|(&id, s)| match &s.state {
+                BrickState::Cold(c) => Some((id, s.hotness, c.footprint())),
+                _ => None,
+            })
+            .collect();
+        candidates.sort_by_key(|&(id, h, _)| (h.0, id));
+        let mut freed = 0u64;
+        let mut evicted = 0usize;
+        for (id, _, bytes) in candidates {
+            if freed >= bytes_to_free {
+                break;
+            }
+            let slot = self.bricks.get_mut(&id).expect("candidate brick");
+            if let BrickState::Cold(c) = &slot.state {
+                slot.state = BrickState::Evicted(c.clone());
+                freed += bytes;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            SchemaBuilder::new()
+                .int_dim("ds", 0, 100, 10)
+                .str_dim("country", 100, 10)
+                .metric("clicks")
+                .metric("cost")
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn row(ds: i64, country: &str, clicks: f64, cost: f64) -> Row {
+        Row::new(
+            vec![Value::Int(ds), Value::from(country)],
+            vec![clicks, cost],
+        )
+    }
+
+    fn loaded() -> PartitionData {
+        let mut p = PartitionData::new(schema());
+        for ds in 0..100 {
+            for (ci, c) in ["US", "BR", "IN"].iter().enumerate() {
+                p.ingest(&row(ds, c, (ds + ci as i64) as f64, 0.5)).unwrap();
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn ingest_counts_and_bricks() {
+        let p = loaded();
+        assert_eq!(p.rows(), 300);
+        // ds has 10 buckets; all 3 countries share dict-id bucket 0.
+        assert_eq!(p.brick_count(), 10);
+        assert_eq!(p.stats().rows_ingested, 300);
+    }
+
+    #[test]
+    fn ingest_validates() {
+        let mut p = PartitionData::new(schema());
+        assert!(p
+            .ingest(&Row::new(vec![Value::Int(5)], vec![1.0, 1.0]))
+            .is_err());
+        assert!(p
+            .ingest(&Row::new(
+                vec![Value::Int(500), Value::from("US")],
+                vec![1.0, 1.0]
+            ))
+            .is_err());
+        assert!(p
+            .ingest(&Row::new(
+                vec![Value::from("oops"), Value::from("US")],
+                vec![1.0, 1.0]
+            ))
+            .is_err());
+        assert!(p
+            .ingest(&Row::new(
+                vec![Value::Int(5), Value::Int(3)],
+                vec![1.0, 1.0]
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn scan_prunes_by_constraint() {
+        let mut p = loaded();
+        // ds = 55 → exactly one brick.
+        let constraints = vec![Some(vec![(55, 55)]), None];
+        let mut rows_seen = 0usize;
+        p.for_each_matching_brick(&constraints, |b| rows_seen += b.rows());
+        assert_eq!(rows_seen, 30, "one ds bucket of 10 values × 3 countries");
+        assert_eq!(p.stats().bricks_scanned, 1);
+        assert_eq!(p.stats().bricks_pruned, 9);
+    }
+
+    #[test]
+    fn all_rows_round_trip() {
+        let p = loaded();
+        let rows = p.all_rows();
+        assert_eq!(rows.len(), 300);
+        // Spot-check decode fidelity.
+        assert!(rows
+            .iter()
+            .any(|r| { r.dims[0] == Value::Int(42) && r.dims[1] == Value::Str("BR".into()) }));
+        let total: f64 = rows.iter().map(|r| r.metrics[1]).sum();
+        assert!((total - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_monitor_compresses_and_scan_still_works() {
+        let mut p = loaded();
+        let before = p.memory_footprint();
+        let config = MemoryMonitorConfig {
+            budget_bytes: 0,
+            ..Default::default()
+        };
+        let (compressed, _) = p.run_memory_monitor(&config);
+        assert_eq!(compressed, 10, "all bricks compressed under zero budget");
+        assert!(p.memory_footprint() < before);
+        assert_eq!(p.state_counts(), (0, 10, 0));
+        // Scans still return all data (transient decompression).
+        let mut rows_seen = 0usize;
+        p.for_each_matching_brick(&[None, None], |b| rows_seen += b.rows());
+        assert_eq!(rows_seen, 300);
+        assert_eq!(p.stats().transient_decompressions, 10);
+        // Decompressed size is invariant to compression state.
+        assert_eq!(p.decompressed_bytes(), loaded().decompressed_bytes());
+    }
+
+    #[test]
+    fn memory_monitor_decompresses_hot_bricks_under_surplus() {
+        let mut p = loaded();
+        let zero = MemoryMonitorConfig {
+            budget_bytes: 0,
+            ..Default::default()
+        };
+        p.run_memory_monitor(&zero);
+        // Heat every brick by scanning everything hot_threshold times.
+        for _ in 0..4 {
+            p.for_each_matching_brick(&[None, None], |_| {});
+        }
+        let roomy = MemoryMonitorConfig {
+            budget_bytes: 1 << 30,
+            ..Default::default()
+        };
+        let (_, decompressed) = p.run_memory_monitor(&roomy);
+        assert_eq!(decompressed, 10, "all hot bricks brought back");
+        assert_eq!(p.state_counts(), (10, 0, 0));
+    }
+
+    #[test]
+    fn ingest_into_compressed_brick_reheats_it() {
+        let mut p = loaded();
+        let zero = MemoryMonitorConfig {
+            budget_bytes: 0,
+            ..Default::default()
+        };
+        p.run_memory_monitor(&zero);
+        p.ingest(&row(55, "US", 1.0, 1.0)).unwrap();
+        let (hot, cold, _) = p.state_counts();
+        assert_eq!(hot, 1);
+        assert_eq!(cold, 9);
+        assert_eq!(p.rows(), 301);
+    }
+
+    #[test]
+    fn eviction_moves_cold_bricks_to_ssd() {
+        let mut p = loaded();
+        let zero = MemoryMonitorConfig {
+            budget_bytes: 0,
+            ..Default::default()
+        };
+        p.run_memory_monitor(&zero);
+        assert_eq!(p.ssd_bytes(), 0);
+        let evicted = p.evict_coldest(u64::MAX);
+        assert_eq!(evicted, 10);
+        assert!(p.ssd_bytes() > 0);
+        let bricks_mem: u64 = p.memory_footprint();
+        // Only dictionaries remain in memory.
+        let dict_bytes: u64 = (0..2)
+            .filter_map(|d| p.dict(d))
+            .map(|d| d.footprint())
+            .sum();
+        assert_eq!(bricks_mem, dict_bytes);
+        // Reads hit SSD.
+        let mut rows_seen = 0;
+        p.for_each_matching_brick(&[None, None], |b| rows_seen += b.rows());
+        assert_eq!(rows_seen, 300);
+        assert_eq!(p.stats().ssd_reads, 10);
+    }
+
+    #[test]
+    fn working_set_tracks_hot_bricks() {
+        let mut p = loaded();
+        assert_eq!(p.working_set_bytes(1), 0, "nothing scanned yet");
+        // Scan only ds=5 brick twice.
+        for _ in 0..2 {
+            p.for_each_matching_brick(&[Some(vec![(5, 5)]), None], |_| {});
+        }
+        let ws = p.working_set_bytes(2);
+        assert!(ws > 0);
+        assert!(ws < p.decompressed_bytes());
+    }
+
+    #[test]
+    fn decay_cools_counters() {
+        let mut p = loaded();
+        for _ in 0..8 {
+            p.for_each_matching_brick(&[None, None], |_| {});
+        }
+        let hot_before: u32 = p.hotness_snapshot().iter().map(|&(_, h)| h).sum();
+        let mut rng = SimRng::new(3);
+        for _ in 0..20 {
+            p.decay_pass(0.5, &mut rng);
+        }
+        let hot_after: u32 = p.hotness_snapshot().iter().map(|&(_, h)| h).sum();
+        assert!(hot_after < hot_before / 4, "{hot_before} → {hot_after}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-host discovery view.
+//!
+//! A [`DiscoveryClient`] is what an application client (or the Cubrick
+//! proxy) holds on each host: it resolves `(service, shard)` to a host id
+//! *as seen through the distribution tree* — i.e. the newest update that
+//! has already propagated to this subscriber, which may lag the
+//! authoritative mapping by a few seconds.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use scalewall_sim::SimTime;
+
+use crate::delay::DelayModel;
+use crate::map::{MappingStore, MappingUpdate, ShardKey};
+
+/// Shared handle to the authoritative store (single writer, many readers).
+pub type SharedMappingStore = Arc<RwLock<MappingStore>>;
+
+/// A subscriber's view of the mapping, filtered through propagation delay.
+#[derive(Clone)]
+pub struct DiscoveryClient {
+    store: SharedMappingStore,
+    delays: DelayModel,
+    /// Stable subscriber identity (normally the host id the client runs on).
+    subscriber: u64,
+}
+
+impl DiscoveryClient {
+    pub fn new(store: SharedMappingStore, delays: DelayModel, subscriber: u64) -> Self {
+        DiscoveryClient {
+            store,
+            delays,
+            subscriber,
+        }
+    }
+
+    pub fn subscriber(&self) -> u64 {
+        self.subscriber
+    }
+
+    /// Resolve `key` to the host visible to this subscriber at `now`.
+    ///
+    /// Walks the retained history newest-first and returns the first update
+    /// whose publish time plus this subscriber's propagation delay has
+    /// elapsed. If even the oldest retained update has not propagated yet,
+    /// the oldest is returned (it stands in for the fully-propagated past).
+    /// Returns `None` only if the key has never been published.
+    pub fn resolve(&self, key: &ShardKey, now: SimTime) -> Option<MappingUpdate> {
+        let store = self.store.read();
+        let history = store.history(key);
+        if history.is_empty() {
+            return None;
+        }
+        for update in history.iter().rev() {
+            let visible_at = update
+                .published_at
+                .saturating_add(self.delays.delay(self.subscriber, update.seq));
+            if visible_at <= now {
+                return Some(*update);
+            }
+        }
+        history.first().copied()
+    }
+
+    /// Resolve to a host id, treating unpublished and unassigned alike.
+    pub fn resolve_host(&self, key: &ShardKey, now: SimTime) -> Option<u64> {
+        self.resolve(key, now).and_then(|u| u.host)
+    }
+
+    /// When update `seq` becomes visible to this subscriber (for tests and
+    /// the Fig 4c experiment).
+    pub fn visible_at(&self, update: &MappingUpdate) -> SimTime {
+        update
+            .published_at
+            .saturating_add(self.delays.delay(self.subscriber, update.seq))
+    }
+}
+
+impl std::fmt::Debug for DiscoveryClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiscoveryClient")
+            .field("subscriber", &self.subscriber)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayModelConfig;
+    use scalewall_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn setup() -> (SharedMappingStore, DiscoveryClient) {
+        let store: SharedMappingStore = Arc::new(RwLock::new(MappingStore::new()));
+        let model = DelayModel::new(DelayModelConfig::default());
+        let client = DiscoveryClient::new(store.clone(), model, 1);
+        (store, client)
+    }
+
+    #[test]
+    fn unpublished_key_resolves_to_none() {
+        let (_store, client) = setup();
+        assert!(client.resolve(&ShardKey::new("s", 0), t(100)).is_none());
+    }
+
+    #[test]
+    fn update_invisible_until_propagated_then_visible() {
+        let (store, client) = setup();
+        let key = ShardKey::new("s", 1);
+        let u0 = store.write().publish(key.clone(), Some(10), t(100));
+        let visible = client.visible_at(&u0);
+        assert!(visible > t(100), "propagation adds delay");
+
+        // Just before visibility: falls back to oldest retained (same update).
+        let before = SimTime::from_nanos(visible.as_nanos() - 1);
+        assert_eq!(client.resolve(&key, before).unwrap().host, Some(10));
+
+        // New update published later: before it propagates the client still
+        // sees the old host; after, the new one.
+        let u1 = store
+            .write()
+            .publish(key.clone(), Some(20), visible + SimDuration::from_secs(60));
+        let u1_visible = client.visible_at(&u1);
+        let mid = SimTime::from_nanos(u1_visible.as_nanos() - 1);
+        assert_eq!(
+            client.resolve(&key, mid).unwrap().host,
+            Some(10),
+            "stale read during propagation"
+        );
+        assert_eq!(client.resolve(&key, u1_visible).unwrap().host, Some(20));
+    }
+
+    #[test]
+    fn different_subscribers_see_updates_at_different_times() {
+        let store: SharedMappingStore = Arc::new(RwLock::new(MappingStore::new()));
+        let model = DelayModel::new(DelayModelConfig::default());
+        let key = ShardKey::new("s", 2);
+        let u = store.write().publish(key, Some(1), t(0));
+        let times: Vec<SimTime> = (0..50)
+            .map(|h| DiscoveryClient::new(store.clone(), model, h).visible_at(&u))
+            .collect();
+        let distinct: std::collections::HashSet<_> = times.iter().map(|t| t.as_nanos()).collect();
+        assert!(distinct.len() > 40, "delays should vary across subscribers");
+    }
+
+    #[test]
+    fn resolve_host_flattens_unassigned() {
+        let (store, client) = setup();
+        let key = ShardKey::new("s", 3);
+        store.write().publish(key.clone(), None, t(0));
+        // After full propagation the entry exists but carries no host.
+        assert_eq!(client.resolve_host(&key, t(10_000)), None);
+    }
+}

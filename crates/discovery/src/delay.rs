@@ -1,0 +1,149 @@
+//! Propagation-delay model for the SMC distribution tree.
+//!
+//! SMC "uses a multi-level data distribution tree to cache and propagate"
+//! mappings, adding "a small delay to how long it takes for clients to
+//! learn about changes to shard assignment" (§III-A). The delay a given
+//! subscriber experiences for a given update is modelled as
+//!
+//! ```text
+//! delay = Σ_levels Exp(mean_hop)  +  Uniform(0, poll_interval)
+//! ```
+//!
+//! — hop latencies through the tree plus the local proxy's poll jitter.
+//!
+//! Sampling is **lazy and deterministic**: the delay for `(subscriber,
+//! update_seq)` is drawn from an RNG seeded by hashing the pair, so
+//! repeated queries return the same answer and no `updates × hosts` state
+//! is ever materialized.
+
+use scalewall_sim::{Exponential, SimDuration, SimRng};
+
+/// Tunables for the delay model.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayModelConfig {
+    /// Number of cache levels between the authoritative store and a host's
+    /// local proxy.
+    pub levels: u32,
+    /// Mean per-level propagation hop delay, seconds.
+    pub mean_hop_secs: f64,
+    /// Local proxy poll interval, seconds (jitter is uniform over it).
+    pub poll_interval_secs: f64,
+    /// Seed mixed into every per-pair sample.
+    pub seed: u64,
+}
+
+impl Default for DelayModelConfig {
+    fn default() -> Self {
+        // Defaults chosen to land the bulk of delays in the "few seconds"
+        // band the paper reports for Fig 4c, with a tail into tens of
+        // seconds.
+        DelayModelConfig {
+            levels: 3,
+            mean_hop_secs: 1.0,
+            poll_interval_secs: 10.0,
+            seed: 0x5AC5,
+        }
+    }
+}
+
+/// Deterministic lazy delay sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayModel {
+    config: DelayModelConfig,
+    hop: Exponential,
+}
+
+impl DelayModel {
+    pub fn new(config: DelayModelConfig) -> Self {
+        assert!(config.levels > 0, "need at least one level");
+        assert!(config.poll_interval_secs >= 0.0);
+        DelayModel {
+            config,
+            hop: Exponential::from_mean(config.mean_hop_secs),
+        }
+    }
+
+    pub fn config(&self) -> &DelayModelConfig {
+        &self.config
+    }
+
+    /// Propagation delay experienced by `subscriber` for update `seq`.
+    ///
+    /// Pure function of `(config.seed, subscriber, seq)`.
+    pub fn delay(&self, subscriber: u64, seq: u64) -> SimDuration {
+        let mut rng = SimRng::new(mix(self.config.seed, subscriber, seq));
+        let mut secs = 0.0;
+        for _ in 0..self.config.levels {
+            secs += self.hop.sample(&mut rng);
+        }
+        secs += rng.unit() * self.config.poll_interval_secs;
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Mix three words into a seed (xorshift-multiply avalanche).
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_pair() {
+        let m = DelayModel::new(DelayModelConfig::default());
+        assert_eq!(m.delay(3, 17), m.delay(3, 17));
+        assert_ne!(m.delay(3, 17), m.delay(4, 17));
+        assert_ne!(m.delay(3, 17), m.delay(3, 18));
+    }
+
+    #[test]
+    fn delays_land_in_seconds_band() {
+        let m = DelayModel::new(DelayModelConfig::default());
+        let mut delays: Vec<f64> = (0..10_000)
+            .map(|i| m.delay(i % 100, i / 100).as_secs_f64())
+            .collect();
+        delays.sort_by(f64::total_cmp);
+        let p50 = delays[5_000];
+        let p99 = delays[9_900];
+        // Expected median ≈ 3 hops × 1 s (skewed) + 5 s poll ≈ 7–8 s.
+        assert!(p50 > 3.0 && p50 < 12.0, "p50 {p50}");
+        assert!(p99 < 60.0, "p99 {p99}");
+        assert!(delays[0] >= 0.0);
+    }
+
+    #[test]
+    fn more_levels_means_longer_delays() {
+        let short = DelayModel::new(DelayModelConfig {
+            levels: 1,
+            poll_interval_secs: 0.0,
+            ..Default::default()
+        });
+        let long = DelayModel::new(DelayModelConfig {
+            levels: 10,
+            poll_interval_secs: 0.0,
+            ..Default::default()
+        });
+        let mean =
+            |m: &DelayModel| (0..5_000).map(|i| m.delay(i, i).as_secs_f64()).sum::<f64>() / 5_000.0;
+        let (ms, ml) = (mean(&short), mean(&long));
+        assert!(ml > 5.0 * ms, "short {ms}, long {ml}");
+    }
+
+    #[test]
+    fn seed_changes_samples() {
+        let a = DelayModel::new(DelayModelConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = DelayModel::new(DelayModelConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a.delay(0, 0), b.delay(0, 0));
+    }
+}

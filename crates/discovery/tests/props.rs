@@ -1,0 +1,96 @@
+//! Property-based tests of service discovery: resolution is always
+//! drawn from published history, staleness is bounded by the delay
+//! model, and per-subscriber views are monotone.
+
+use parking_lot::RwLock;
+use proptest::prelude::*;
+use scalewall_discovery::{DelayModel, DelayModelConfig, DiscoveryClient, MappingStore, ShardKey};
+use scalewall_sim::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn store_with(
+    publishes: &[(u64, u64)], // (gap seconds, host)
+) -> (Arc<RwLock<MappingStore>>, Vec<(SimTime, u64)>) {
+    let store = Arc::new(RwLock::new(MappingStore::new()));
+    let key = ShardKey::new("svc", 0);
+    let mut t = SimTime::ZERO;
+    let mut timeline = Vec::new();
+    for &(gap, host) in publishes {
+        t += SimDuration::from_secs(gap + 1);
+        store.write().publish(key.clone(), Some(host), t);
+        timeline.push((t, host));
+    }
+    (store, timeline)
+}
+
+proptest! {
+    /// A resolved host is always one that was actually published, and
+    /// never one published *after* the observation instant.
+    #[test]
+    fn resolution_is_causal(
+        publishes in proptest::collection::vec((0u64..600, 0u64..50), 1..12),
+        subscriber in 0u64..100,
+        observe_offset in 0u64..3_600,
+    ) {
+        let (store, timeline) = store_with(&publishes);
+        let model = DelayModel::new(DelayModelConfig::default());
+        let client = DiscoveryClient::new(store, model, subscriber);
+        let key = ShardKey::new("svc", 0);
+        let last_publish = timeline.last().unwrap().0;
+        let observe = last_publish + SimDuration::from_secs(observe_offset);
+        let resolved = client.resolve(&key, observe).expect("published key resolves");
+        // The value must be from the retained history...
+        let hosts_published: Vec<u64> = timeline.iter().map(|&(_, h)| h).collect();
+        prop_assert!(hosts_published.contains(&resolved.host.unwrap()));
+        // ...and must not be from the future.
+        prop_assert!(resolved.published_at <= observe || resolved.published_at <= last_publish);
+    }
+
+    /// Far enough past the last publish, every subscriber converges on
+    /// the authoritative value (bounded staleness).
+    #[test]
+    fn eventual_convergence(
+        publishes in proptest::collection::vec((0u64..600, 0u64..50), 1..12),
+        subscriber in 0u64..100,
+    ) {
+        let (store, timeline) = store_with(&publishes);
+        let model = DelayModel::new(DelayModelConfig::default());
+        let client = DiscoveryClient::new(store.clone(), model, subscriber);
+        let key = ShardKey::new("svc", 0);
+        let (_, last_host) = *timeline.last().unwrap();
+        // The default model's delays are < 5 minutes with overwhelming
+        // probability; one hour is decisive.
+        let late = timeline.last().unwrap().0 + SimDuration::from_hours(1);
+        prop_assert_eq!(client.resolve_host(&key, late), Some(last_host));
+        // And it agrees with the authoritative store.
+        let auth = store.read().latest(&key).unwrap().host;
+        prop_assert_eq!(auth, Some(last_host));
+    }
+
+    /// A single subscriber's view never goes backwards in publish order.
+    #[test]
+    fn per_subscriber_monotonicity(
+        publishes in proptest::collection::vec((0u64..600, 0u64..50), 2..12),
+        subscriber in 0u64..100,
+        steps in 2usize..40,
+    ) {
+        let (store, timeline) = store_with(&publishes);
+        let model = DelayModel::new(DelayModelConfig::default());
+        let client = DiscoveryClient::new(store, model, subscriber);
+        let key = ShardKey::new("svc", 0);
+        let horizon = timeline.last().unwrap().0 + SimDuration::from_hours(1);
+        let mut last_seq = None;
+        for i in 0..steps {
+            let frac = i as f64 / steps as f64;
+            let t = SimTime::from_nanos(
+                (horizon.as_nanos() as f64 * frac) as u64,
+            );
+            if let Some(update) = client.resolve(&key, t) {
+                if let Some(prev) = last_seq {
+                    prop_assert!(update.seq >= prev, "view went backwards");
+                }
+                last_seq = Some(update.seq);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Placement: choosing a host for a shard replica.
+//!
+//! Pure functions over a snapshot of host state, so the policy is easy to
+//! test and reuse from both initial allocation and migration targeting.
+//! The policy implements SM's two goals (§III-A3): respect capacity, and
+//! spread load evenly — here by ranking feasible hosts by *projected load
+//! fraction* after the placement.
+
+use crate::ids::{HostId, HostInfo, HostState};
+use crate::spec::SpreadDomain;
+
+/// Snapshot of one host as seen by the placement policy.
+#[derive(Debug, Clone, Copy)]
+pub struct HostSnapshot {
+    pub info: HostInfo,
+    pub state: HostState,
+    /// Sum of weights of shards currently on the host, in the app metric.
+    pub load: f64,
+}
+
+impl HostSnapshot {
+    /// Load as a fraction of capacity (∞ for zero-capacity hosts, so they
+    /// sort last and never win while any real host is feasible).
+    pub fn load_fraction(&self) -> f64 {
+        if self.info.capacity <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.load / self.info.capacity
+        }
+    }
+}
+
+/// A candidate placement produced by [`rank_candidates`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    pub host: HostId,
+    /// Projected load fraction if the shard lands here.
+    pub projected: f64,
+}
+
+/// Rank feasible hosts for a replica of weight `weight`, best first.
+///
+/// Feasibility:
+/// * host is [`HostState::placeable`],
+/// * projected load stays within `headroom × capacity`,
+/// * the host's failure domain (at `spread` scope) is not already used by
+///   another replica of the same shard (`used_domains`),
+/// * the host is not in `excluded` (e.g. the migration source, or hosts
+///   that already vetoed this shard).
+///
+/// Ties on projected load break by host id for determinism.
+pub fn rank_candidates(
+    hosts: &[HostSnapshot],
+    weight: f64,
+    headroom: f64,
+    spread: SpreadDomain,
+    used_domains: &[u64],
+    excluded: &[HostId],
+) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = hosts
+        .iter()
+        .filter(|h| h.state.placeable())
+        .filter(|h| !excluded.contains(&h.info.id))
+        .filter(|h| !used_domains.contains(&h.info.domain(spread)))
+        .filter(|h| {
+            let cap = h.info.capacity * headroom;
+            h.load + weight <= cap
+        })
+        .map(|h| Candidate {
+            host: h.info.id,
+            projected: if h.info.capacity > 0.0 {
+                (h.load + weight) / h.info.capacity
+            } else {
+                f64::INFINITY
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.projected
+            .total_cmp(&b.projected)
+            .then_with(|| a.host.0.cmp(&b.host.0))
+    });
+    out
+}
+
+/// Convenience: the single best candidate, if any.
+pub fn best_candidate(
+    hosts: &[HostSnapshot],
+    weight: f64,
+    headroom: f64,
+    spread: SpreadDomain,
+    used_domains: &[u64],
+    excluded: &[HostId],
+) -> Option<Candidate> {
+    rank_candidates(hosts, weight, headroom, spread, used_domains, excluded)
+        .into_iter()
+        .next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Rack, Region};
+
+    fn snap(id: u64, rack: u32, region: u32, capacity: f64, load: f64) -> HostSnapshot {
+        HostSnapshot {
+            info: HostInfo::new(HostId(id), Rack(rack), Region(region), capacity),
+            state: HostState::Alive,
+            load,
+        }
+    }
+
+    #[test]
+    fn prefers_least_loaded() {
+        let hosts = [snap(1, 0, 0, 100.0, 50.0), snap(2, 1, 0, 100.0, 10.0)];
+        let ranked = rank_candidates(&hosts, 5.0, 0.9, SpreadDomain::Host, &[], &[]);
+        assert_eq!(ranked[0].host, HostId(2));
+        assert!((ranked[0].projected - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_headroom() {
+        let hosts = [snap(1, 0, 0, 100.0, 88.0)];
+        // 88 + 5 = 93 > 90 → infeasible.
+        assert!(rank_candidates(&hosts, 5.0, 0.9, SpreadDomain::Host, &[], &[]).is_empty());
+        // Smaller shard fits.
+        assert_eq!(
+            rank_candidates(&hosts, 2.0, 0.9, SpreadDomain::Host, &[], &[]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn respects_spread_domains() {
+        let hosts = [
+            snap(1, 0, 0, 100.0, 0.0),
+            snap(2, 0, 0, 100.0, 0.0),
+            snap(3, 1, 0, 100.0, 50.0),
+        ];
+        // Rack 0 (region 0) already used → only host 3 is feasible.
+        let used = [hosts[0].info.domain(SpreadDomain::Rack)];
+        let ranked = rank_candidates(&hosts, 1.0, 0.9, SpreadDomain::Rack, &used, &[]);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].host, HostId(3));
+    }
+
+    #[test]
+    fn region_spread() {
+        let hosts = [
+            snap(1, 0, 0, 100.0, 0.0),
+            snap(2, 1, 0, 100.0, 0.0),
+            snap(3, 0, 1, 100.0, 0.0),
+        ];
+        let used = [hosts[0].info.domain(SpreadDomain::Region)];
+        let ranked = rank_candidates(&hosts, 1.0, 0.9, SpreadDomain::Region, &used, &[]);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].host, HostId(3));
+    }
+
+    #[test]
+    fn excludes_and_state_filter() {
+        let mut hosts = vec![snap(1, 0, 0, 100.0, 0.0), snap(2, 1, 0, 100.0, 0.0)];
+        hosts[1].state = HostState::Draining;
+        let ranked = rank_candidates(&hosts, 1.0, 0.9, SpreadDomain::Host, &[], &[HostId(1)]);
+        assert!(ranked.is_empty(), "host 1 excluded, host 2 draining");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let hosts = [snap(9, 0, 0, 100.0, 10.0), snap(4, 1, 0, 100.0, 10.0)];
+        let ranked = rank_candidates(&hosts, 1.0, 0.9, SpreadDomain::Host, &[], &[]);
+        assert_eq!(ranked[0].host, HostId(4), "equal load ties break by id");
+    }
+
+    #[test]
+    fn zero_capacity_never_wins() {
+        let hosts = [snap(1, 0, 0, 0.0, 0.0), snap(2, 1, 0, 100.0, 89.0)];
+        let best = best_candidate(&hosts, 1.0, 0.9, SpreadDomain::Host, &[], &[]);
+        assert_eq!(best.unwrap().host, HostId(2));
+    }
+
+    #[test]
+    fn heterogeneous_capacities_balance_by_fraction() {
+        // Big host with more absolute load can still be the better target.
+        let hosts = [snap(1, 0, 0, 1000.0, 300.0), snap(2, 1, 0, 100.0, 50.0)];
+        let best = best_candidate(&hosts, 10.0, 0.9, SpreadDomain::Host, &[], &[]).unwrap();
+        assert_eq!(best.host, HostId(1), "31% projected beats 60%");
+    }
+}

@@ -1,0 +1,1769 @@
+//! The SM Server: assignment authority and orchestration loop.
+//!
+//! "This is the central SM scheduler that collects shard metrics for all
+//! applications and makes shard placement decisions" (§III-A). The server
+//! owns:
+//!
+//! * application registrations and per-shard replica assignments,
+//! * host registrations, heartbeat liveness (via `scalewall-zk` ephemeral
+//!   nodes) and host lifecycle (alive → draining/dead),
+//! * the migration engine (live / graceful / failover state machines),
+//! * publication of shard→host mappings to service discovery,
+//! * periodic metric collection and load-balancing runs.
+//!
+//! SM Server stays out of the data path by design: data movement happens
+//! between application servers; the server only sequences endpoint calls
+//! and tracks time ("This workflow excludes SM Server from the data
+//! intensive path", §III-A).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use scalewall_discovery::{MappingStore, ShardKey};
+use scalewall_sim::{SimRng, SimTime};
+use scalewall_zk::{SessionConfig, SessionId, ZkStore};
+
+use crate::app_server::{AddShardReason, AppServerRegistry, ShardContext};
+use crate::balancer::{fleet_stats, propose_rebalance, BalancerStats};
+use crate::error::{SmError, SmResult};
+use crate::ids::{HostId, HostInfo, HostState, ShardId};
+use crate::migration::{
+    MigrationCause, MigrationId, MigrationKind, MigrationPhase, MigrationRecord, MigrationTimings,
+};
+use crate::placement::{rank_candidates, HostSnapshot};
+use crate::spec::{AppSpec, Role};
+
+/// Shared handle to the discovery mapping store.
+pub type SharedDiscovery = Arc<RwLock<MappingStore>>;
+
+/// Server-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SmConfig {
+    pub timings: MigrationTimings,
+    /// Weight assumed for a shard before the first metrics collection.
+    pub default_shard_weight: f64,
+    /// Zookeeper session timeout for application-server heartbeats.
+    pub session: SessionConfig,
+    /// Maximum distinct targets tried when an application vetoes
+    /// placements with non-retryable errors.
+    pub max_veto_retries: usize,
+    /// Placement randomization: new replicas land on a uniformly random
+    /// candidate among the `placement_jitter` least-loaded feasible
+    /// hosts. `1` = strict least-loaded (deterministic). Production
+    /// placement is effectively randomized at long horizons by
+    /// load-balancing churn; experiments reproducing steady-state
+    /// distributions (Fig 4a) raise this.
+    pub placement_jitter: usize,
+    /// Seed for the server's private RNG (placement jitter).
+    pub seed: u64,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig {
+            timings: MigrationTimings::default(),
+            default_shard_weight: 1.0,
+            session: SessionConfig::default(),
+            max_veto_retries: 8,
+            placement_jitter: 1,
+            seed: 0x5337,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HostEntry {
+    info: HostInfo,
+    state: HostState,
+    session: Option<SessionId>,
+}
+
+#[derive(Debug)]
+struct AppState {
+    spec: AppSpec,
+    /// Replicas per shard, role order (primary first where applicable).
+    assignments: HashMap<ShardId, Vec<(HostId, Role)>>,
+    /// Last collected per-shard weights.
+    weights: HashMap<ShardId, f64>,
+}
+
+impl AppState {
+    fn weight_of(&self, shard: ShardId, default: f64) -> f64 {
+        self.weights.get(&shard).copied().unwrap_or(default)
+    }
+}
+
+/// The SM server.
+pub struct SmServer {
+    config: SmConfig,
+    apps: BTreeMap<Arc<str>, AppState>,
+    hosts: BTreeMap<HostId, HostEntry>,
+    zk: ZkStore,
+    discovery: SharedDiscovery,
+    active: BTreeMap<u64, MigrationRecord>,
+    history: Vec<MigrationRecord>,
+    next_migration: u64,
+    /// Failovers that found no feasible target; retried on each tick.
+    pending_failovers: Vec<(Arc<str>, ShardId)>,
+    /// host-id ↔ zk session bookkeeping for heartbeat expiry handling.
+    session_hosts: HashMap<SessionId, HostId>,
+    rng: SimRng,
+    /// Incrementally maintained per-host load (sum of replica weights
+    /// across apps). Rebuilt wholesale after metric collection; updated
+    /// by deltas on every assignment change. Keeping this cached makes
+    /// placement O(hosts) instead of O(total assignments).
+    loads: HashMap<HostId, f64>,
+}
+
+impl SmServer {
+    pub fn new(config: SmConfig, discovery: SharedDiscovery) -> Self {
+        SmServer {
+            zk: ZkStore::new(config.session),
+            rng: SimRng::new(config.seed),
+            config,
+            apps: BTreeMap::new(),
+            hosts: BTreeMap::new(),
+            discovery,
+            active: BTreeMap::new(),
+            history: Vec::new(),
+            next_migration: 0,
+            pending_failovers: Vec::new(),
+            session_hosts: HashMap::new(),
+            loads: HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor with a private discovery store.
+    pub fn standalone(config: SmConfig) -> Self {
+        SmServer::new(config, Arc::new(RwLock::new(MappingStore::new())))
+    }
+
+    pub fn discovery(&self) -> SharedDiscovery {
+        self.discovery.clone()
+    }
+
+    pub fn config(&self) -> &SmConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------- apps
+
+    /// Register a new application. Fails on duplicate names or invalid spec.
+    pub fn register_app(&mut self, spec: AppSpec) -> SmResult<()> {
+        spec.validate()
+            .map_err(|reason| SmError::SafetyCheckFailed { reason })?;
+        if self.apps.contains_key(&spec.name) {
+            return Err(SmError::AppExists {
+                app: spec.name.to_string(),
+            });
+        }
+        self.apps.insert(
+            spec.name.clone(),
+            AppState {
+                spec,
+                assignments: HashMap::new(),
+                weights: HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    fn app(&self, name: &str) -> SmResult<&AppState> {
+        self.apps.get(name).ok_or_else(|| SmError::UnknownApp {
+            app: name.to_string(),
+        })
+    }
+
+    fn app_mut(&mut self, name: &str) -> SmResult<&mut AppState> {
+        self.apps.get_mut(name).ok_or_else(|| SmError::UnknownApp {
+            app: name.to_string(),
+        })
+    }
+
+    pub fn app_names(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.apps.keys()
+    }
+
+    // ------------------------------------------------------------------ hosts
+
+    /// Register a host and open its heartbeat session.
+    pub fn register_host(&mut self, info: HostInfo, now: SimTime) -> SmResult<()> {
+        if self.hosts.contains_key(&info.id) {
+            return Err(SmError::HostExists { host: info.id });
+        }
+        let session = self.zk.create_session(now);
+        let path = format!("/sm/hosts/{}", info.id.0);
+        self.zk
+            .create_recursive(
+                &path,
+                &[],
+                scalewall_zk::NodeKind::Ephemeral,
+                Some(session),
+                now,
+            )
+            .expect("host path is fresh");
+        self.zk
+            .watch(&path, scalewall_zk::WatchKind::Node, info.id.0)
+            .expect("valid path");
+        self.session_hosts.insert(session, info.id);
+        self.hosts.insert(
+            info.id,
+            HostEntry {
+                info,
+                state: HostState::Alive,
+                session: Some(session),
+            },
+        );
+        Ok(())
+    }
+
+    /// Record a heartbeat from a host's application server.
+    ///
+    /// Heartbeats assert the server was alive for the whole interval
+    /// since the previous beat, so they refresh the session even when the
+    /// simulation advanced time past the session timeout in one jump —
+    /// as long as SM has not yet processed the expiry.
+    pub fn heartbeat(&mut self, host: HostId, now: SimTime) -> SmResult<()> {
+        let entry = self.hosts.get(&host).ok_or(SmError::UnknownHost { host })?;
+        if let Some(session) = entry.session {
+            self.zk.refresh_session(session, now);
+        }
+        Ok(())
+    }
+
+    /// Update a host's exported capacity (heterogeneous fleets, adaptive
+    /// capacity; §III-A3).
+    pub fn update_capacity(&mut self, host: HostId, capacity: f64) -> SmResult<()> {
+        let entry = self
+            .hosts
+            .get_mut(&host)
+            .ok_or(SmError::UnknownHost { host })?;
+        entry.info.capacity = capacity.max(0.0);
+        Ok(())
+    }
+
+    pub fn host_state(&self, host: HostId) -> Option<HostState> {
+        self.hosts.get(&host).map(|h| h.state)
+    }
+
+    pub fn host_info(&self, host: HostId) -> Option<&HostInfo> {
+        self.hosts.get(&host).map(|h| &h.info)
+    }
+
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.hosts.keys().copied()
+    }
+
+    pub fn alive_host_count(&self) -> usize {
+        self.hosts
+            .values()
+            .filter(|h| h.state == HostState::Alive)
+            .count()
+    }
+
+    /// Total load (sum of shard weights across apps) currently assigned to
+    /// `host`.
+    pub fn host_load(&self, host: HostId) -> f64 {
+        self.loads.get(&host).copied().unwrap_or(0.0)
+    }
+
+    fn load_delta(&mut self, host: HostId, delta: f64) {
+        let entry = self.loads.entry(host).or_insert(0.0);
+        *entry += delta;
+        if *entry < 0.0 {
+            *entry = 0.0; // floating-point dust
+        }
+    }
+
+    /// Recompute the load cache from scratch (after bulk weight updates).
+    fn rebuild_loads(&mut self) {
+        self.loads.clear();
+        let default_w = self.config.default_shard_weight;
+        let mut loads: HashMap<HostId, f64> = HashMap::with_capacity(self.hosts.len());
+        for app in self.apps.values() {
+            for (&shard, replicas) in &app.assignments {
+                let w = app.weight_of(shard, default_w);
+                for (h, _) in replicas {
+                    *loads.entry(*h).or_insert(0.0) += w;
+                }
+            }
+        }
+        self.loads = loads;
+    }
+
+    fn snapshots(&self) -> Vec<HostSnapshot> {
+        self.hosts
+            .values()
+            .map(|e| HostSnapshot {
+                info: e.info,
+                state: e.state,
+                load: self.loads.get(&e.info.id).copied().unwrap_or(0.0),
+            })
+            .collect()
+    }
+
+    /// Fleet balance statistics (over placeable hosts).
+    pub fn fleet_stats(&self) -> BalancerStats {
+        fleet_stats(&self.snapshots())
+    }
+
+    // ------------------------------------------------------------- allocation
+
+    /// Allocate a brand-new shard: place all replicas per the app's
+    /// replication mode, invoking `add_shard` on each target (vetoes move
+    /// on to the next candidate), and publish the mapping.
+    pub fn allocate_shard<R: AppServerRegistry>(
+        &mut self,
+        app_name: &str,
+        shard: ShardId,
+        weight_hint: f64,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<Vec<HostId>> {
+        let app = self.app(app_name)?;
+        if shard.0 >= app.spec.max_shards {
+            return Err(SmError::ShardOutOfRange {
+                shard,
+                max_shards: app.spec.max_shards,
+            });
+        }
+        if app.assignments.contains_key(&shard) {
+            return Err(SmError::AlreadyAssigned { shard });
+        }
+        let replication = app.spec.replication;
+        let spread = app.spec.spread;
+        let headroom = app.spec.balancer.capacity_headroom;
+        let total = replication.total_replicas();
+
+        let mut snapshots = self.snapshots();
+        let mut placed: Vec<(HostId, Role)> = Vec::with_capacity(total as usize);
+        let mut used_domains: Vec<u64> = Vec::with_capacity(total as usize);
+        let mut vetoed: Vec<HostId> = Vec::new();
+
+        for i in 0..total {
+            let role = replication.role_of(i);
+            loop {
+                let candidates = rank_candidates(
+                    &snapshots,
+                    weight_hint,
+                    headroom,
+                    spread,
+                    &used_domains,
+                    &vetoed,
+                );
+                let jitter = self
+                    .config
+                    .placement_jitter
+                    .max(1)
+                    .min(candidates.len().max(1));
+                let pick = if jitter > 1 {
+                    self.rng.below(jitter as u64) as usize
+                } else {
+                    0
+                };
+                let Some(best) = candidates.get(pick).copied() else {
+                    // Roll back replicas already placed.
+                    for &(h, _) in &placed {
+                        if let Some(server) = registry.server(h) {
+                            let _ = server.drop_shard(ShardContext {
+                                shard,
+                                reason: AddShardReason::NewAllocation,
+                                source: None,
+                            });
+                        }
+                    }
+                    return Err(SmError::NoFeasibleHost {
+                        shard,
+                        needed_weight: weight_hint,
+                    });
+                };
+                let ctx = ShardContext {
+                    shard,
+                    reason: AddShardReason::NewAllocation,
+                    source: None,
+                };
+                let accepted = match registry.server(best.host) {
+                    Some(server) => match server.add_shard(ctx) {
+                        Ok(()) => true,
+                        Err(e) if e.is_retryable() => false,
+                        Err(_) => false,
+                    },
+                    None => false,
+                };
+                if accepted {
+                    placed.push((best.host, role));
+                    let info = self.hosts[&best.host].info;
+                    used_domains.push(info.domain(spread));
+                    for s in &mut snapshots {
+                        if s.info.id == best.host {
+                            s.load += weight_hint;
+                        }
+                    }
+                    break;
+                }
+                vetoed.push(best.host);
+                if vetoed.len() > self.config.max_veto_retries + self.hosts.len() {
+                    return Err(SmError::AllTargetsVetoed {
+                        shard,
+                        attempts: vetoed.len(),
+                    });
+                }
+            }
+        }
+
+        // New shards have their data created in place: copies are complete
+        // immediately.
+        for &(h, _) in &placed {
+            if let Some(server) = registry.server(h) {
+                server.on_copy_complete(ShardContext {
+                    shard,
+                    reason: AddShardReason::NewAllocation,
+                    source: None,
+                });
+            }
+        }
+
+        let hosts: Vec<HostId> = placed.iter().map(|&(h, _)| h).collect();
+        let app = self.app_mut(app_name)?;
+        app.weights.insert(shard, weight_hint);
+        app.assignments.insert(shard, placed);
+        for &h in &hosts {
+            self.load_delta(h, weight_hint);
+        }
+        self.publish(app_name, shard, now);
+        Ok(hosts)
+    }
+
+    /// Remove a shard entirely: drop on every replica and retract the
+    /// mapping.
+    pub fn deallocate_shard<R: AppServerRegistry>(
+        &mut self,
+        app_name: &str,
+        shard: ShardId,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<()> {
+        let app = self.app_mut(app_name)?;
+        let Some(replicas) = app.assignments.remove(&shard) else {
+            return Err(SmError::NotAssigned { shard });
+        };
+        let weight = app
+            .weights
+            .remove(&shard)
+            .unwrap_or(self.config.default_shard_weight);
+        for &(h, _) in &replicas {
+            self.load_delta(h, -weight);
+        }
+        for (h, _) in replicas {
+            if let Some(server) = registry.server(h) {
+                let _ = server.drop_shard(ShardContext {
+                    shard,
+                    reason: AddShardReason::NewAllocation,
+                    source: None,
+                });
+            }
+        }
+        self.discovery
+            .write()
+            .publish(ShardKey::new(app_name.to_string(), shard.0), None, now);
+        Ok(())
+    }
+
+    /// Current replica set for a shard (role order).
+    pub fn replicas_of(&self, app_name: &str, shard: ShardId) -> Option<&[(HostId, Role)]> {
+        self.apps
+            .get(app_name)
+            .and_then(|a| a.assignments.get(&shard))
+            .map(|v| v.as_slice())
+    }
+
+    /// Primary (first) replica host for a shard.
+    pub fn host_of(&self, app_name: &str, shard: ShardId) -> Option<HostId> {
+        self.replicas_of(app_name, shard)
+            .and_then(|r| r.first())
+            .map(|&(h, _)| h)
+    }
+
+    /// All shards currently assigned to `host` for `app`.
+    pub fn shards_on(&self, app_name: &str, host: HostId) -> Vec<ShardId> {
+        let Some(app) = self.apps.get(app_name) else {
+            return Vec::new();
+        };
+        let mut shards: Vec<ShardId> = app
+            .assignments
+            .iter()
+            .filter(|(_, replicas)| replicas.iter().any(|(h, _)| *h == host))
+            .map(|(&s, _)| s)
+            .collect();
+        shards.sort();
+        shards
+    }
+
+    /// Record an application-pushed metric update outside the polling
+    /// cycle (e.g. from tests).
+    pub fn report_shard_weight(
+        &mut self,
+        app_name: &str,
+        shard: ShardId,
+        weight: f64,
+    ) -> SmResult<()> {
+        let default_w = self.config.default_shard_weight;
+        let app = self.app_mut(app_name)?;
+        let old = app
+            .weights
+            .insert(shard, weight.max(0.0))
+            .unwrap_or(default_w);
+        let delta = weight.max(0.0) - old;
+        let holders: Vec<HostId> = app
+            .assignments
+            .get(&shard)
+            .map(|replicas| replicas.iter().map(|&(h, _)| h).collect())
+            .unwrap_or_default();
+        for h in holders {
+            self.load_delta(h, delta);
+        }
+        Ok(())
+    }
+
+    fn publish(&self, app_name: &str, shard: ShardId, now: SimTime) {
+        let host = self.host_of(app_name, shard);
+        self.discovery.write().publish(
+            ShardKey::new(app_name.to_string(), shard.0),
+            host.map(|h| h.0),
+            now,
+        );
+    }
+
+    // ---------------------------------------------------------------- metrics
+
+    /// Poll every serving host's application server for per-shard metrics
+    /// and capacity (§III-A3: "SM server must periodically collect shard
+    /// size metrics").
+    pub fn collect_metrics<R: AppServerRegistry>(&mut self, registry: &mut R) {
+        let hosts: Vec<HostId> = self
+            .hosts
+            .values()
+            .filter(|h| h.state.serving())
+            .map(|h| h.info.id)
+            .collect();
+        type Collected = (HostId, Vec<(ShardId, f64)>, f64);
+        let mut collected: Vec<Collected> = Vec::with_capacity(hosts.len());
+        for host in hosts {
+            if let Some(server) = registry.server(host) {
+                collected.push((host, server.shard_metrics(), server.capacity()));
+            }
+        }
+        for (host, metrics, capacity) in collected {
+            if let Some(entry) = self.hosts.get_mut(&host) {
+                entry.info.capacity = capacity.max(0.0);
+            }
+            for (shard, weight) in metrics {
+                // A shard metric belongs to whichever app has the shard
+                // assigned to this host.
+                for app in self.apps.values_mut() {
+                    if app
+                        .assignments
+                        .get(&shard)
+                        .is_some_and(|replicas| replicas.iter().any(|(h, _)| *h == host))
+                    {
+                        app.weights.insert(shard, weight.max(0.0));
+                    }
+                }
+            }
+        }
+        self.rebuild_loads();
+    }
+
+    // ------------------------------------------------------------- migrations
+
+    fn next_migration_id(&mut self) -> MigrationId {
+        let id = MigrationId(self.next_migration);
+        self.next_migration += 1;
+        id
+    }
+
+    /// Begin a live migration of `shard` to `to`. With `graceful` the
+    /// zero-downtime protocol is used. Returns the migration id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_migration<R: AppServerRegistry>(
+        &mut self,
+        app_name: &str,
+        shard: ShardId,
+        to: HostId,
+        graceful: bool,
+        cause: MigrationCause,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<MigrationId> {
+        let app = self.app(app_name)?;
+        let Some(replicas) = app.assignments.get(&shard) else {
+            return Err(SmError::NotAssigned { shard });
+        };
+        let &(from, _) = replicas.first().expect("assignments are never empty");
+        if !self.hosts.get(&to).is_some_and(|h| h.state.placeable()) {
+            return Err(SmError::BadHostState {
+                host: to,
+                reason: "target not placeable",
+            });
+        }
+        if self
+            .active
+            .values()
+            .any(|m| m.app.as_ref() == app_name && m.shard == shard)
+        {
+            return Err(SmError::AlreadyAssigned { shard });
+        }
+        let kind = if graceful {
+            MigrationKind::Graceful
+        } else {
+            MigrationKind::Plain
+        };
+
+        // Invoke the first endpoint now; this is the application's veto point.
+        let ctx = ShardContext {
+            shard,
+            reason: AddShardReason::LiveMigration,
+            source: Some(from),
+        };
+        let result = match registry.server(to) {
+            Some(server) => {
+                if graceful {
+                    server.prepare_add_shard(ctx)
+                } else {
+                    server.add_shard(ctx)
+                }
+            }
+            None => Err(crate::error::AppError::retryable("target unreachable")),
+        };
+        if let Err(e) = result {
+            return Err(if e.is_retryable() {
+                SmError::BadHostState {
+                    host: to,
+                    reason: "target unreachable",
+                }
+            } else {
+                SmError::AllTargetsVetoed { shard, attempts: 1 }
+            });
+        }
+
+        let bytes = registry
+            .server(from)
+            .map(|s| s.shard_transfer_bytes(shard))
+            .unwrap_or(0);
+        let copy = self.config.timings.copy_duration(kind, bytes);
+        let id = self.next_migration_id();
+        let app_arc = self.app(app_name)?.spec.name.clone();
+        self.active.insert(
+            id.0,
+            MigrationRecord {
+                id,
+                app: app_arc,
+                shard,
+                from: Some(from),
+                to,
+                kind,
+                cause,
+                phase: MigrationPhase::Copying,
+                started_at: now,
+                deadline: now + copy,
+                finished_at: None,
+                bytes,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Begin a failover of `shard` (previous owner dead). Target selection
+    /// is automatic; the application recovers data per its own fault
+    /// tolerance model (for Cubrick: a healthy region).
+    fn begin_failover<R: AppServerRegistry>(
+        &mut self,
+        app_name: &Arc<str>,
+        shard: ShardId,
+        dead: HostId,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<MigrationId> {
+        let app = &self.apps[app_name];
+        let weight = app.weight_of(shard, self.config.default_shard_weight);
+        let spread = app.spec.spread;
+        let headroom = app.spec.balancer.capacity_headroom;
+        // Domains used by surviving replicas of this shard.
+        let used_domains: Vec<u64> = app
+            .assignments
+            .get(&shard)
+            .map(|replicas| {
+                replicas
+                    .iter()
+                    .filter(|(h, _)| *h != dead)
+                    .filter_map(|(h, _)| self.hosts.get(h).map(|e| e.info.domain(spread)))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let snapshots = self.snapshots();
+        let mut vetoed: Vec<HostId> = vec![dead];
+        let bytes = weight.max(0.0) as u64;
+
+        loop {
+            let candidates =
+                rank_candidates(&snapshots, weight, headroom, spread, &used_domains, &vetoed);
+            let Some(best) = candidates.first().copied() else {
+                return Err(SmError::NoFeasibleHost {
+                    shard,
+                    needed_weight: weight,
+                });
+            };
+            let ctx = ShardContext {
+                shard,
+                reason: AddShardReason::Failover,
+                source: Some(dead),
+            };
+            let accepted = registry
+                .server(best.host)
+                .map(|s| s.add_shard(ctx).is_ok())
+                .unwrap_or(false);
+            if accepted {
+                let copy = self
+                    .config
+                    .timings
+                    .copy_duration(MigrationKind::Failover, bytes);
+                let id = self.next_migration_id();
+                self.active.insert(
+                    id.0,
+                    MigrationRecord {
+                        id,
+                        app: app_name.clone(),
+                        shard,
+                        from: Some(dead),
+                        to: best.host,
+                        kind: MigrationKind::Failover,
+                        cause: MigrationCause::HostFailure,
+                        phase: MigrationPhase::Copying,
+                        started_at: now,
+                        deadline: now + copy,
+                        finished_at: None,
+                        bytes,
+                    },
+                );
+                return Ok(id);
+            }
+            vetoed.push(best.host);
+            if vetoed.len() > self.config.max_veto_retries + self.hosts.len() {
+                return Err(SmError::AllTargetsVetoed {
+                    shard,
+                    attempts: vetoed.len(),
+                });
+            }
+        }
+    }
+
+    /// Advance all in-flight migrations whose phase deadline has passed.
+    /// Call whenever simulated time moves (idempotent).
+    pub fn advance_migrations<R: AppServerRegistry>(&mut self, now: SimTime, registry: &mut R) {
+        let due: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, m)| !m.is_finished() && m.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            self.step_migration(id, now, registry);
+        }
+        // Sweep finished records into history.
+        let finished: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, m)| m.is_finished())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in finished {
+            if let Some(m) = self.active.remove(&id) {
+                self.history.push(m);
+            }
+        }
+    }
+
+    fn step_migration<R: AppServerRegistry>(&mut self, id: u64, now: SimTime, registry: &mut R) {
+        let Some(m) = self.active.get(&id) else {
+            return;
+        };
+        let (app_name, shard, kind, phase, from, to) =
+            (m.app.clone(), m.shard, m.kind, m.phase, m.from, m.to);
+        match (kind, phase) {
+            (MigrationKind::Graceful, MigrationPhase::Copying) => {
+                // Copy finished: prepareDropShard(old) → addShard(new) →
+                // publish → wait out propagation.
+                let ctx = ShardContext {
+                    shard,
+                    reason: AddShardReason::LiveMigration,
+                    source: from,
+                };
+                if let Some(old) = from.and_then(|h| registry.server(h)) {
+                    let _ = old.prepare_drop_shard(ctx, to);
+                }
+                if let Some(new) = registry.server(to) {
+                    let _ = new.add_shard(ctx);
+                    new.on_copy_complete(ctx);
+                }
+                self.reassign(&app_name, shard, from, to);
+                self.publish(&app_name, shard, now);
+                let m = self.active.get_mut(&id).expect("still active");
+                m.phase = MigrationPhase::Forwarding;
+                m.deadline = now + self.config.timings.propagation_wait;
+            }
+            (MigrationKind::Graceful, MigrationPhase::Forwarding) => {
+                // Propagation window over: dropShard(old).
+                let ctx = ShardContext {
+                    shard,
+                    reason: AddShardReason::LiveMigration,
+                    source: from,
+                };
+                if let Some(old) = from.and_then(|h| registry.server(h)) {
+                    let _ = old.drop_shard(ctx);
+                }
+                self.finish_migration(id, now, MigrationPhase::Done);
+            }
+            (MigrationKind::Plain, MigrationPhase::Copying) => {
+                // Copy finished: publish and drop the old replica at once;
+                // stale discovery caches now produce errors until they
+                // catch up — the window graceful migration removes.
+                let ctx = ShardContext {
+                    shard,
+                    reason: AddShardReason::LiveMigration,
+                    source: from,
+                };
+                if let Some(new) = registry.server(to) {
+                    new.on_copy_complete(ctx);
+                }
+                if let Some(old) = from.and_then(|h| registry.server(h)) {
+                    let _ = old.drop_shard(ctx);
+                }
+                self.reassign(&app_name, shard, from, to);
+                self.publish(&app_name, shard, now);
+                self.finish_migration(id, now, MigrationPhase::Done);
+            }
+            (MigrationKind::Failover, MigrationPhase::Copying) => {
+                let ctx = ShardContext {
+                    shard,
+                    reason: AddShardReason::Failover,
+                    source: from,
+                };
+                if let Some(new) = registry.server(to) {
+                    new.on_copy_complete(ctx);
+                }
+                self.reassign(&app_name, shard, from, to);
+                self.publish(&app_name, shard, now);
+                self.finish_migration(id, now, MigrationPhase::Done);
+            }
+            _ => {}
+        }
+    }
+
+    fn reassign(&mut self, app_name: &str, shard: ShardId, from: Option<HostId>, to: HostId) {
+        let default_w = self.config.default_shard_weight;
+        let Some(app) = self.apps.get_mut(app_name) else {
+            return;
+        };
+        let weight = app.weight_of(shard, default_w);
+        let Some(replicas) = app.assignments.get_mut(&shard) else {
+            return;
+        };
+        let mut moved_from = None;
+        let mut done = false;
+        if let Some(f) = from {
+            for r in replicas.iter_mut() {
+                if r.0 == f {
+                    r.0 = to;
+                    moved_from = Some(f);
+                    done = true;
+                    break;
+                }
+            }
+        }
+        if !done {
+            // Source replica vanished (e.g. concurrent removal) or no
+            // source: append a new replica.
+            replicas.push((to, Role::Secondary));
+        }
+        if let Some(f) = moved_from {
+            self.load_delta(f, -weight);
+        }
+        self.load_delta(to, weight);
+    }
+
+    fn finish_migration(&mut self, id: u64, now: SimTime, phase: MigrationPhase) {
+        if let Some(m) = self.active.get_mut(&id) {
+            m.phase = phase;
+            m.finished_at = Some(now);
+        }
+    }
+
+    /// The in-flight migration touching `(app, shard)`, if any. Query
+    /// routing uses this to decide whether an "old" server still serves or
+    /// forwards.
+    pub fn active_migration(&self, app_name: &str, shard: ShardId) -> Option<&MigrationRecord> {
+        self.active
+            .values()
+            .find(|m| m.app.as_ref() == app_name && m.shard == shard)
+    }
+
+    /// All completed migrations (Fig 4d counts these per day).
+    pub fn migration_history(&self) -> &[MigrationRecord] {
+        &self.history
+    }
+
+    pub fn active_migration_count(&self) -> usize {
+        self.active.len()
+    }
+
+    // ------------------------------------------------------- host lifecycle
+
+    /// Mark a host dead (heartbeat loss or injected failure) and start
+    /// failovers for everything it held.
+    pub fn host_failed<R: AppServerRegistry>(
+        &mut self,
+        host: HostId,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<()> {
+        {
+            let entry = self
+                .hosts
+                .get_mut(&host)
+                .ok_or(SmError::UnknownHost { host })?;
+            if entry.state == HostState::Dead {
+                return Ok(());
+            }
+            entry.state = HostState::Dead;
+            if let Some(session) = entry.session.take() {
+                self.session_hosts.remove(&session);
+                self.zk.close_session(session, now);
+            }
+        }
+        // Abort migrations touching the dead host.
+        let mut orphaned: Vec<(Arc<str>, ShardId)> = Vec::new();
+        for m in self.active.values_mut() {
+            if m.is_finished() {
+                continue;
+            }
+            if m.to == host || m.from == Some(host) {
+                m.phase = MigrationPhase::Failed;
+                m.finished_at = Some(now);
+                orphaned.push((m.app.clone(), m.shard));
+            }
+        }
+        // Fail over every shard assigned to the host. Assignment maps are
+        // hash maps, so sort: failover *order* affects placement and the
+        // whole simulation must stay deterministic.
+        let mut to_failover: Vec<(Arc<str>, ShardId)> = Vec::new();
+        for (name, app) in &self.apps {
+            for (&shard, replicas) in &app.assignments {
+                if replicas.iter().any(|(h, _)| *h == host) {
+                    to_failover.push((name.clone(), shard));
+                }
+            }
+        }
+        to_failover.sort();
+        for (app_name, shard) in to_failover {
+            // Publish unavailability immediately: clients must stop
+            // routing to the dead host as soon as caches catch up.
+            if self.host_of(&app_name, shard) == Some(host) {
+                self.discovery.write().publish(
+                    ShardKey::new(app_name.to_string(), shard.0),
+                    None,
+                    now,
+                );
+            }
+            if self
+                .begin_failover(&app_name, shard, host, now, registry)
+                .is_err()
+            {
+                self.pending_failovers.push((app_name.clone(), shard));
+            }
+        }
+        // Orphaned migration shards whose assignment does not reference the
+        // dead host still need their state republished.
+        for (app_name, shard) in orphaned {
+            self.publish(&app_name, shard, now);
+        }
+        Ok(())
+    }
+
+    /// Remove a dead host from the fleet entirely (post-repair
+    /// decommission). Fails if the host still holds assignments.
+    pub fn remove_host(&mut self, host: HostId) -> SmResult<()> {
+        let entry = self.hosts.get(&host).ok_or(SmError::UnknownHost { host })?;
+        if entry.state != HostState::Dead {
+            return Err(SmError::BadHostState {
+                host,
+                reason: "only dead hosts can be removed",
+            });
+        }
+        let still_assigned = self.apps.values().any(|app| {
+            app.assignments
+                .values()
+                .any(|replicas| replicas.iter().any(|(h, _)| *h == host))
+        });
+        if still_assigned {
+            return Err(SmError::BadHostState {
+                host,
+                reason: "host still holds assignments",
+            });
+        }
+        self.hosts.remove(&host);
+        self.loads.remove(&host);
+        Ok(())
+    }
+
+    /// Start draining a host: no new placements; every shard it holds is
+    /// gracefully migrated away.
+    pub fn drain_host<R: AppServerRegistry>(
+        &mut self,
+        host: HostId,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<usize> {
+        {
+            let entry = self
+                .hosts
+                .get_mut(&host)
+                .ok_or(SmError::UnknownHost { host })?;
+            if entry.state == HostState::Dead {
+                return Err(SmError::BadHostState {
+                    host,
+                    reason: "host is dead",
+                });
+            }
+            entry.state = HostState::Draining;
+        }
+        let mut moved = 0usize;
+        let mut work: Vec<(Arc<str>, ShardId)> = self
+            .apps
+            .iter()
+            .flat_map(|(name, app)| {
+                app.assignments
+                    .iter()
+                    .filter(|(_, replicas)| replicas.iter().any(|(h, _)| *h == host))
+                    .map(|(&s, _)| (name.clone(), s))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Deterministic drain order (assignments are hash maps).
+        work.sort();
+        for (app_name, shard) in work {
+            if self.active_migration(&app_name, shard).is_some() {
+                continue;
+            }
+            let weight = self.apps[&app_name].weight_of(shard, self.config.default_shard_weight);
+            let spread = self.apps[&app_name].spec.spread;
+            let headroom = self.apps[&app_name].spec.balancer.capacity_headroom;
+            let snapshots = self.snapshots();
+            let Some(best) = crate::placement::best_candidate(
+                &snapshots,
+                weight,
+                headroom,
+                spread,
+                &[],
+                &[host],
+            ) else {
+                continue; // retried by a later drain pass
+            };
+            if self
+                .begin_migration(
+                    &app_name,
+                    shard,
+                    best.host,
+                    true,
+                    MigrationCause::Drain,
+                    now,
+                    registry,
+                )
+                .is_ok()
+            {
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Return a draining (or previously failed, now recovered) host to
+    /// service.
+    pub fn reactivate_host(&mut self, host: HostId, now: SimTime) -> SmResult<()> {
+        let entry = self
+            .hosts
+            .get_mut(&host)
+            .ok_or(SmError::UnknownHost { host })?;
+        if entry.session.is_none() {
+            let session = self.zk.create_session(now);
+            let path = format!("/sm/hosts/{}", host.0);
+            let _ = self.zk.create_recursive(
+                &path,
+                &[],
+                scalewall_zk::NodeKind::Ephemeral,
+                Some(session),
+                now,
+            );
+            let _ = self.zk.watch(&path, scalewall_zk::WatchKind::Node, host.0);
+            self.session_hosts.insert(session, host);
+            entry.session = Some(session);
+        }
+        entry.state = HostState::Alive;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------- tick
+
+    /// Periodic maintenance: expire heartbeat sessions (failing dead
+    /// hosts), retry queued failovers, and advance migrations.
+    pub fn tick<R: AppServerRegistry>(&mut self, now: SimTime, registry: &mut R) {
+        // Heartbeat expiry via the coordination store.
+        let expired = self.zk.expire_sessions(now);
+        let _ = self.zk.drain_events(); // ephemeral-delete notifications
+        for session in expired {
+            if let Some(host) = self.session_hosts.remove(&session) {
+                let _ = self.host_failed(host, now, registry);
+            }
+        }
+        // Retry failovers that previously had no feasible target.
+        let pending = std::mem::take(&mut self.pending_failovers);
+        for (app_name, shard) in pending {
+            let dead = self
+                .apps
+                .get(&app_name)
+                .and_then(|a| a.assignments.get(&shard))
+                .and_then(|replicas| {
+                    replicas
+                        .iter()
+                        .find(|(h, _)| {
+                            self.hosts
+                                .get(h)
+                                .is_some_and(|e| e.state == HostState::Dead)
+                        })
+                        .map(|&(h, _)| h)
+                });
+            // `None` means the failover resolved through another path.
+            if let Some(dead_host) = dead {
+                if self
+                    .begin_failover(&app_name, shard, dead_host, now, registry)
+                    .is_err()
+                {
+                    self.pending_failovers.push((app_name, shard));
+                }
+            }
+        }
+        self.advance_migrations(now, registry);
+    }
+
+    /// Run one load-balancing pass for an app, starting graceful
+    /// migrations for accepted proposals. Returns migrations started.
+    pub fn run_load_balancer<R: AppServerRegistry>(
+        &mut self,
+        app_name: &str,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<usize> {
+        let app = self.app(app_name)?;
+        let config = app.spec.balancer;
+        let default_w = self.config.default_shard_weight;
+        // Only primary replicas move during balancing; shards already
+        // migrating are skipped.
+        let mut locations: Vec<(ShardId, HostId, f64)> = app
+            .assignments
+            .iter()
+            .filter(|(&s, _)| self.active_migration(app_name, s).is_none())
+            .map(|(&s, replicas)| (s, replicas[0].0, app.weight_of(s, default_w)))
+            .collect();
+        // Deterministic proposal input order (assignments are hash maps).
+        locations.sort_by_key(|&(s, _, _)| s);
+        let snapshots = self.snapshots();
+        let proposals = propose_rebalance(&snapshots, &locations, &config);
+        let mut started = 0usize;
+        for p in proposals {
+            if self
+                .begin_migration(
+                    app_name,
+                    p.shard,
+                    p.to,
+                    true,
+                    MigrationCause::LoadBalance,
+                    now,
+                    registry,
+                )
+                .is_ok()
+            {
+                started += 1;
+            }
+        }
+        Ok(started)
+    }
+}
+
+impl std::fmt::Debug for SmServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmServer")
+            .field("apps", &self.apps.len())
+            .field("hosts", &self.hosts.len())
+            .field("active_migrations", &self.active.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app_server::MockAppServer;
+    use crate::ids::{Rack, Region};
+    use crate::spec::{ReplicationMode, SpreadDomain};
+    use scalewall_sim::SimDuration;
+
+    /// Registry over a map of mock servers.
+    #[derive(Default)]
+    struct MockRegistry {
+        servers: HashMap<HostId, MockAppServer>,
+        /// Hosts that have crashed (unreachable).
+        down: std::collections::HashSet<HostId>,
+    }
+
+    impl MockRegistry {
+        fn add(&mut self, host: HostId, capacity: f64) {
+            self.servers
+                .insert(host, MockAppServer::with_capacity(capacity));
+        }
+    }
+
+    impl AppServerRegistry for MockRegistry {
+        fn server(&mut self, host: HostId) -> Option<&mut dyn crate::app_server::AppServer> {
+            if self.down.contains(&host) {
+                return None;
+            }
+            self.servers
+                .get_mut(&host)
+                .map(|s| s as &mut dyn crate::app_server::AppServer)
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn setup(hosts: u64) -> (SmServer, MockRegistry) {
+        let mut sm = SmServer::standalone(SmConfig::default());
+        sm.register_app(AppSpec::primary_only("app", 1_000))
+            .unwrap();
+        let mut reg = MockRegistry::default();
+        for i in 0..hosts {
+            let info = HostInfo::new(HostId(i), Rack((i % 4) as u32), Region(0), 100.0);
+            sm.register_host(info, t(0)).unwrap();
+            reg.add(HostId(i), 100.0);
+        }
+        (sm, reg)
+    }
+
+    #[test]
+    fn register_duplicates_rejected() {
+        let (mut sm, _reg) = setup(2);
+        assert!(matches!(
+            sm.register_app(AppSpec::primary_only("app", 10)),
+            Err(SmError::AppExists { .. })
+        ));
+        let info = HostInfo::new(HostId(0), Rack(0), Region(0), 1.0);
+        assert!(matches!(
+            sm.register_host(info, t(0)),
+            Err(SmError::HostExists { .. })
+        ));
+    }
+
+    #[test]
+    fn allocate_places_and_publishes() {
+        let (mut sm, mut reg) = setup(4);
+        let hosts = sm
+            .allocate_shard("app", ShardId(7), 10.0, t(1), &mut reg)
+            .unwrap();
+        assert_eq!(hosts.len(), 1);
+        let host = hosts[0];
+        assert!(reg.servers[&host].shards.contains_key(&7));
+        assert_eq!(sm.host_of("app", ShardId(7)), Some(host));
+        let discovery = sm.discovery();
+        let latest = discovery.read().latest(&ShardKey::new("app", 7)).unwrap();
+        assert_eq!(latest.host, Some(host.0));
+    }
+
+    #[test]
+    fn allocate_balances_across_hosts() {
+        let (mut sm, mut reg) = setup(4);
+        for s in 0..8 {
+            sm.allocate_shard("app", ShardId(s), 10.0, t(1), &mut reg)
+                .unwrap();
+        }
+        // 8 equal shards over 4 equal hosts → 2 each.
+        for i in 0..4 {
+            assert_eq!(sm.shards_on("app", HostId(i)).len(), 2, "host {i}");
+        }
+    }
+
+    #[test]
+    fn allocate_rejects_out_of_range_and_duplicates() {
+        let (mut sm, mut reg) = setup(2);
+        assert!(matches!(
+            sm.allocate_shard("app", ShardId(9_999), 1.0, t(0), &mut reg),
+            Err(SmError::ShardOutOfRange { .. })
+        ));
+        sm.allocate_shard("app", ShardId(1), 1.0, t(0), &mut reg)
+            .unwrap();
+        assert!(matches!(
+            sm.allocate_shard("app", ShardId(1), 1.0, t(0), &mut reg),
+            Err(SmError::AlreadyAssigned { .. })
+        ));
+    }
+
+    #[test]
+    fn veto_moves_to_next_candidate() {
+        let (mut sm, mut reg) = setup(3);
+        // Least-loaded candidate (host 0 by tie-break) vetoes shard 5.
+        reg.servers.get_mut(&HostId(0)).unwrap().vetoed.insert(5);
+        let hosts = sm
+            .allocate_shard("app", ShardId(5), 1.0, t(0), &mut reg)
+            .unwrap();
+        assert_ne!(hosts[0], HostId(0));
+    }
+
+    #[test]
+    fn replicated_allocation_respects_spread() {
+        let mut sm = SmServer::standalone(SmConfig::default());
+        sm.register_app(
+            AppSpec::primary_only("app", 100)
+                .with_replication(ReplicationMode::SecondaryOnly { replicas: 3 })
+                .with_spread(SpreadDomain::Region),
+        )
+        .unwrap();
+        let mut reg = MockRegistry::default();
+        for i in 0..6 {
+            let info = HostInfo::new(HostId(i), Rack(0), Region((i % 3) as u32), 100.0);
+            sm.register_host(info, t(0)).unwrap();
+            reg.add(HostId(i), 100.0);
+        }
+        let hosts = sm
+            .allocate_shard("app", ShardId(0), 1.0, t(0), &mut reg)
+            .unwrap();
+        assert_eq!(hosts.len(), 3);
+        let regions: std::collections::HashSet<u32> = hosts
+            .iter()
+            .map(|h| sm.host_info(*h).unwrap().region.0)
+            .collect();
+        assert_eq!(regions.len(), 3, "one replica per region");
+    }
+
+    #[test]
+    fn replication_infeasible_rolls_back() {
+        let mut sm = SmServer::standalone(SmConfig::default());
+        sm.register_app(
+            AppSpec::primary_only("app", 100)
+                .with_replication(ReplicationMode::SecondaryOnly { replicas: 3 })
+                .with_spread(SpreadDomain::Region),
+        )
+        .unwrap();
+        let mut reg = MockRegistry::default();
+        for i in 0..4 {
+            // Only 2 regions for 3 region-spread replicas.
+            let info = HostInfo::new(HostId(i), Rack(0), Region((i % 2) as u32), 100.0);
+            sm.register_host(info, t(0)).unwrap();
+            reg.add(HostId(i), 100.0);
+        }
+        let err = sm
+            .allocate_shard("app", ShardId(0), 1.0, t(0), &mut reg)
+            .unwrap_err();
+        assert!(matches!(err, SmError::NoFeasibleHost { .. }));
+        // Rollback: nothing left behind on any server.
+        assert!(reg.servers.values().all(|s| s.shards.is_empty()));
+        assert!(sm.host_of("app", ShardId(0)).is_none());
+    }
+
+    #[test]
+    fn graceful_migration_full_protocol() {
+        let (mut sm, mut reg) = setup(2);
+        sm.allocate_shard("app", ShardId(3), 50.0, t(0), &mut reg)
+            .unwrap();
+        let from = sm.host_of("app", ShardId(3)).unwrap();
+        let to = HostId(if from.0 == 0 { 1 } else { 0 });
+
+        let id = sm
+            .begin_migration(
+                "app",
+                ShardId(3),
+                to,
+                true,
+                MigrationCause::Manual,
+                t(10),
+                &mut reg,
+            )
+            .unwrap();
+        // During copy: target prepared, source still owns.
+        assert!(reg.servers[&to].prepared.contains(&3));
+        assert_eq!(sm.host_of("app", ShardId(3)), Some(from));
+        let rec = sm.active_migration("app", ShardId(3)).unwrap();
+        assert_eq!(rec.phase, MigrationPhase::Copying);
+        assert_eq!(rec.id, id);
+        let copy_done = rec.deadline;
+
+        // Advance past copy: forwarding phase, assignment flipped.
+        sm.advance_migrations(copy_done, &mut reg);
+        assert_eq!(sm.host_of("app", ShardId(3)), Some(to));
+        assert!(reg.servers[&to].shards.contains_key(&3));
+        assert_eq!(reg.servers[&from].forwarding.get(&3), Some(&to));
+        let rec = sm.active_migration("app", ShardId(3)).unwrap();
+        assert_eq!(rec.phase, MigrationPhase::Forwarding);
+        assert!(rec.old_server_serves());
+        let forward_done = rec.deadline;
+
+        // Advance past propagation window: old replica dropped, done.
+        sm.advance_migrations(forward_done, &mut reg);
+        assert!(sm.active_migration("app", ShardId(3)).is_none());
+        assert!(!reg.servers[&from].shards.contains_key(&3));
+        assert!(reg.servers[&from].forwarding.is_empty());
+        assert_eq!(sm.migration_history().len(), 1);
+        assert_eq!(sm.migration_history()[0].phase, MigrationPhase::Done);
+    }
+
+    #[test]
+    fn plain_migration_skips_forwarding() {
+        let (mut sm, mut reg) = setup(2);
+        sm.allocate_shard("app", ShardId(1), 10.0, t(0), &mut reg)
+            .unwrap();
+        let from = sm.host_of("app", ShardId(1)).unwrap();
+        let to = HostId(if from.0 == 0 { 1 } else { 0 });
+        sm.begin_migration(
+            "app",
+            ShardId(1),
+            to,
+            false,
+            MigrationCause::Manual,
+            t(5),
+            &mut reg,
+        )
+        .unwrap();
+        let deadline = sm.active_migration("app", ShardId(1)).unwrap().deadline;
+        sm.advance_migrations(deadline, &mut reg);
+        assert!(sm.active_migration("app", ShardId(1)).is_none());
+        assert_eq!(sm.host_of("app", ShardId(1)), Some(to));
+        assert!(!reg.servers[&from].shards.contains_key(&1));
+        assert!(
+            reg.servers[&from].forwarding.is_empty(),
+            "plain never forwards"
+        );
+    }
+
+    #[test]
+    fn migration_rejected_while_another_active() {
+        let (mut sm, mut reg) = setup(3);
+        sm.allocate_shard("app", ShardId(1), 10.0, t(0), &mut reg)
+            .unwrap();
+        let from = sm.host_of("app", ShardId(1)).unwrap();
+        let others: Vec<HostId> = (0..3).map(HostId).filter(|h| *h != from).collect();
+        sm.begin_migration(
+            "app",
+            ShardId(1),
+            others[0],
+            true,
+            MigrationCause::Manual,
+            t(1),
+            &mut reg,
+        )
+        .unwrap();
+        let err = sm
+            .begin_migration(
+                "app",
+                ShardId(1),
+                others[1],
+                true,
+                MigrationCause::Manual,
+                t(1),
+                &mut reg,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SmError::AlreadyAssigned { .. }));
+    }
+
+    #[test]
+    fn target_veto_fails_migration_start() {
+        let (mut sm, mut reg) = setup(2);
+        sm.allocate_shard("app", ShardId(2), 10.0, t(0), &mut reg)
+            .unwrap();
+        let from = sm.host_of("app", ShardId(2)).unwrap();
+        let to = HostId(if from.0 == 0 { 1 } else { 0 });
+        reg.servers.get_mut(&to).unwrap().vetoed.insert(2);
+        let err = sm
+            .begin_migration(
+                "app",
+                ShardId(2),
+                to,
+                true,
+                MigrationCause::Manual,
+                t(1),
+                &mut reg,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SmError::AllTargetsVetoed { .. }));
+    }
+
+    #[test]
+    fn host_failure_triggers_failover() {
+        let (mut sm, mut reg) = setup(3);
+        sm.allocate_shard("app", ShardId(4), 10.0, t(0), &mut reg)
+            .unwrap();
+        let victim = sm.host_of("app", ShardId(4)).unwrap();
+        reg.down.insert(victim);
+        sm.host_failed(victim, t(100), &mut reg).unwrap();
+        assert_eq!(sm.host_state(victim), Some(HostState::Dead));
+
+        // Failover in flight.
+        let rec = sm.active_migration("app", ShardId(4)).unwrap();
+        assert_eq!(rec.kind, MigrationKind::Failover);
+        assert!(!rec.old_server_serves(), "dead host serves nothing");
+        let deadline = rec.deadline;
+        sm.advance_migrations(deadline, &mut reg);
+        let new_host = sm.host_of("app", ShardId(4)).unwrap();
+        assert_ne!(new_host, victim);
+        assert!(reg.servers[&new_host].shards.contains_key(&4));
+    }
+
+    #[test]
+    fn heartbeat_loss_detected_via_tick() {
+        let (mut sm, mut reg) = setup(2);
+        sm.allocate_shard("app", ShardId(0), 5.0, t(0), &mut reg)
+            .unwrap();
+        let victim = sm.host_of("app", ShardId(0)).unwrap();
+        let other = HostId(if victim.0 == 0 { 1 } else { 0 });
+        // Both heartbeat at t=5; victim then goes silent.
+        sm.heartbeat(victim, t(5)).unwrap();
+        sm.heartbeat(other, t(5)).unwrap();
+        reg.down.insert(victim);
+        // Keep the healthy host heartbeating so only the victim expires.
+        for s in [8u64, 12, 16] {
+            sm.heartbeat(other, t(s)).unwrap();
+            sm.tick(t(s), &mut reg);
+        }
+        sm.tick(t(16), &mut reg);
+        assert_eq!(sm.host_state(victim), Some(HostState::Dead));
+        assert_eq!(sm.host_state(other), Some(HostState::Alive));
+    }
+
+    #[test]
+    fn failover_waits_for_feasible_host() {
+        // One host only: failover impossible until a new host registers.
+        let (mut sm, mut reg) = setup(1);
+        sm.allocate_shard("app", ShardId(0), 5.0, t(0), &mut reg)
+            .unwrap();
+        reg.down.insert(HostId(0));
+        sm.host_failed(HostId(0), t(10), &mut reg).unwrap();
+        assert!(sm.active_migration("app", ShardId(0)).is_none());
+        // New capacity arrives.
+        let info = HostInfo::new(HostId(9), Rack(0), Region(0), 100.0);
+        sm.register_host(info, t(20)).unwrap();
+        reg.add(HostId(9), 100.0);
+        sm.tick(t(20), &mut reg);
+        let rec = sm
+            .active_migration("app", ShardId(0))
+            .expect("failover retried");
+        assert_eq!(rec.to, HostId(9));
+    }
+
+    #[test]
+    fn drain_moves_all_shards_gracefully() {
+        let (mut sm, mut reg) = setup(3);
+        for s in 0..6 {
+            sm.allocate_shard("app", ShardId(s), 10.0, t(0), &mut reg)
+                .unwrap();
+        }
+        let victim = HostId(0);
+        let held = sm.shards_on("app", victim).len();
+        assert!(held > 0);
+        let moved = sm.drain_host(victim, t(100), &mut reg).unwrap();
+        assert_eq!(moved, held);
+        assert_eq!(sm.host_state(victim), Some(HostState::Draining));
+        // Run all migrations to completion.
+        sm.advance_migrations(t(100) + SimDuration::from_hours(1), &mut reg);
+        sm.advance_migrations(t(100) + SimDuration::from_hours(2), &mut reg);
+        assert!(sm.shards_on("app", victim).is_empty());
+        assert!(
+            sm.migration_history()
+                .iter()
+                .all(|m| m.cause == MigrationCause::Drain),
+            "all moves caused by the drain"
+        );
+    }
+
+    #[test]
+    fn load_balancer_flattens_skew() {
+        let (mut sm, mut reg) = setup(2);
+        // Force everything onto host 0 by making host 1 veto all new
+        // allocations, then lift the veto.
+        for s in 0..6 {
+            reg.servers.get_mut(&HostId(1)).unwrap().vetoed.insert(s);
+            sm.allocate_shard("app", ShardId(s), 10.0, t(0), &mut reg)
+                .unwrap();
+        }
+        reg.servers.get_mut(&HostId(1)).unwrap().vetoed.clear();
+        assert_eq!(sm.shards_on("app", HostId(0)).len(), 6);
+        let started = sm.run_load_balancer("app", t(50), &mut reg).unwrap();
+        assert!(started > 0, "imbalance must trigger migrations");
+        sm.advance_migrations(t(50) + SimDuration::from_hours(1), &mut reg);
+        sm.advance_migrations(t(50) + SimDuration::from_hours(2), &mut reg);
+        let a = sm.shards_on("app", HostId(0)).len();
+        let b = sm.shards_on("app", HostId(1)).len();
+        assert_eq!(a + b, 6);
+        assert!((a as i64 - b as i64).abs() <= 1, "{a} vs {b}");
+    }
+
+    #[test]
+    fn collect_metrics_updates_weights_and_capacity() {
+        let (mut sm, mut reg) = setup(2);
+        sm.allocate_shard("app", ShardId(0), 1.0, t(0), &mut reg)
+            .unwrap();
+        let host = sm.host_of("app", ShardId(0)).unwrap();
+        // The app reports a grown shard and a changed capacity.
+        let server = reg.servers.get_mut(&host).unwrap();
+        server.shards.insert(0, 42.0);
+        server.capacity = 500.0;
+        sm.collect_metrics(&mut reg);
+        assert_eq!(sm.host_load(host), 42.0);
+        assert_eq!(sm.host_info(host).unwrap().capacity, 500.0);
+    }
+
+    #[test]
+    fn remove_host_lifecycle() {
+        let (mut sm, mut reg) = setup(2);
+        sm.allocate_shard("app", ShardId(0), 1.0, t(0), &mut reg)
+            .unwrap();
+        let victim = sm.host_of("app", ShardId(0)).unwrap();
+        assert!(matches!(
+            sm.remove_host(victim),
+            Err(SmError::BadHostState { .. })
+        ));
+        reg.down.insert(victim);
+        sm.host_failed(victim, t(10), &mut reg).unwrap();
+        // Still holds the assignment until failover completes.
+        assert!(sm.remove_host(victim).is_err());
+        sm.advance_migrations(t(10) + SimDuration::from_hours(1), &mut reg);
+        sm.remove_host(victim).unwrap();
+        assert!(sm.host_state(victim).is_none());
+    }
+
+    #[test]
+    fn deallocate_drops_everywhere() {
+        let (mut sm, mut reg) = setup(2);
+        sm.allocate_shard("app", ShardId(0), 1.0, t(0), &mut reg)
+            .unwrap();
+        let host = sm.host_of("app", ShardId(0)).unwrap();
+        sm.deallocate_shard("app", ShardId(0), t(1), &mut reg)
+            .unwrap();
+        assert!(sm.host_of("app", ShardId(0)).is_none());
+        assert!(reg.servers[&host].shards.is_empty());
+        let discovery = sm.discovery();
+        let latest = discovery.read().latest(&ShardKey::new("app", 0)).unwrap();
+        assert_eq!(latest.host, None);
+    }
+
+    /// Recompute loads naively and compare with the incremental cache.
+    fn naive_load(sm: &SmServer, host: HostId) -> f64 {
+        let mut load = 0.0;
+        for app in sm.apps.values() {
+            for (&shard, replicas) in &app.assignments {
+                if replicas.iter().any(|(h, _)| *h == host) {
+                    load += app.weight_of(shard, sm.config.default_shard_weight);
+                }
+            }
+        }
+        load
+    }
+
+    #[test]
+    fn load_cache_stays_consistent_through_lifecycle() {
+        let (mut sm, mut reg) = setup(4);
+        for s in 0..8 {
+            sm.allocate_shard("app", ShardId(s), 5.0, t(0), &mut reg)
+                .unwrap();
+        }
+        sm.report_shard_weight("app", ShardId(0), 20.0).unwrap();
+        sm.deallocate_shard("app", ShardId(1), t(1), &mut reg)
+            .unwrap();
+        // A graceful migration start-to-finish.
+        let from = sm.host_of("app", ShardId(2)).unwrap();
+        let to = (0..4).map(HostId).find(|&h| h != from).unwrap();
+        if sm
+            .begin_migration(
+                "app",
+                ShardId(2),
+                to,
+                true,
+                MigrationCause::Manual,
+                t(2),
+                &mut reg,
+            )
+            .is_ok()
+        {
+            sm.advance_migrations(t(2) + SimDuration::from_hours(1), &mut reg);
+            sm.advance_migrations(t(2) + SimDuration::from_hours(2), &mut reg);
+        }
+        // A failure + failover.
+        let victim = sm.host_of("app", ShardId(3)).unwrap();
+        reg.down.insert(victim);
+        sm.host_failed(victim, t(100), &mut reg).unwrap();
+        sm.advance_migrations(t(100) + SimDuration::from_hours(1), &mut reg);
+        // Metric collection rebuilds.
+        sm.collect_metrics(&mut reg);
+        for h in 0..4 {
+            let host = HostId(h);
+            let cached = sm.host_load(host);
+            let naive = naive_load(&sm, host);
+            assert!(
+                (cached - naive).abs() < 1e-9,
+                "{host}: cached {cached} naive {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_jitter_randomizes_placement() {
+        let mut config = SmConfig {
+            placement_jitter: 4,
+            ..Default::default()
+        };
+        config.seed = 1;
+        let mut sm = SmServer::standalone(config);
+        sm.register_app(AppSpec::primary_only("app", 10_000))
+            .unwrap();
+        let mut reg = MockRegistry::default();
+        for i in 0..4 {
+            let info = HostInfo::new(HostId(i), Rack(0), Region(0), 1e9);
+            sm.register_host(info, t(0)).unwrap();
+            reg.add(HostId(i), 1e9);
+        }
+        // With jitter = hosts, two equal-weight shards can land on the
+        // same host (impossible under strict least-loaded placement).
+        let mut same = false;
+        for s in 0..200 {
+            let a = sm
+                .allocate_shard("app", ShardId(2 * s), 1.0, t(0), &mut reg)
+                .unwrap()[0];
+            let b = sm
+                .allocate_shard("app", ShardId(2 * s + 1), 1.0, t(0), &mut reg)
+                .unwrap()[0];
+            if a == b {
+                same = true;
+                break;
+            }
+        }
+        assert!(same, "jittered placement should occasionally collide");
+    }
+
+    #[test]
+    fn reactivate_draining_host() {
+        let (mut sm, mut reg) = setup(2);
+        sm.drain_host(HostId(0), t(0), &mut reg).unwrap();
+        assert_eq!(sm.host_state(HostId(0)), Some(HostState::Draining));
+        sm.reactivate_host(HostId(0), t(5)).unwrap();
+        assert_eq!(sm.host_state(HostId(0)), Some(HostState::Alive));
+    }
+}

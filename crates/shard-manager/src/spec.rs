@@ -1,0 +1,210 @@
+//! Per-application configuration.
+//!
+//! Applications using SM specify (§III-A): a shard space size, a
+//! replication mode and factor, how replicas must be *spread* over failure
+//! domains, and load-balancing tunables including the migration throttle
+//! ("SM allows application owners to configure and throttle the maximum
+//! number of shard migrations allowed on a single load balancing run").
+
+use std::sync::Arc;
+
+use scalewall_sim::SimDuration;
+
+/// Role of a shard replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    Primary,
+    Secondary,
+}
+
+/// The three replication models SM supports (§III-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Single replica per shard; no redundancy. (Cubrick's production
+    /// deployment: three independent primary-only services, one per
+    /// region, §IV-D.)
+    PrimaryOnly,
+    /// One primary plus `secondaries` secondary replicas.
+    PrimarySecondary { secondaries: u32 },
+    /// `replicas` equal replicas, no distinguished primary.
+    SecondaryOnly { replicas: u32 },
+}
+
+impl ReplicationMode {
+    /// Total replicas per shard under this mode.
+    pub fn total_replicas(self) -> u32 {
+        match self {
+            ReplicationMode::PrimaryOnly => 1,
+            ReplicationMode::PrimarySecondary { secondaries } => 1 + secondaries,
+            ReplicationMode::SecondaryOnly { replicas } => replicas,
+        }
+    }
+
+    /// Role of the `i`-th replica created for a shard.
+    pub fn role_of(self, i: u32) -> Role {
+        match self {
+            ReplicationMode::PrimaryOnly => Role::Primary,
+            ReplicationMode::PrimarySecondary { .. } => {
+                if i == 0 {
+                    Role::Primary
+                } else {
+                    Role::Secondary
+                }
+            }
+            ReplicationMode::SecondaryOnly { .. } => Role::Secondary,
+        }
+    }
+}
+
+/// Failure-domain scope replicas of one shard must be spread across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpreadDomain {
+    /// Replicas on distinct hosts (minimum sensible spread).
+    Host,
+    /// Replicas on distinct racks.
+    Rack,
+    /// Replicas in distinct regions.
+    Region,
+}
+
+/// Load-balancer tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancerConfig {
+    /// A rebalance is proposed only when
+    /// `max_host_load / mean_host_load > 1 + imbalance_tolerance`.
+    pub imbalance_tolerance: f64,
+    /// Maximum migrations proposed per load-balancing run.
+    pub max_migrations_per_run: usize,
+    /// Never fill a host beyond this fraction of its exported capacity.
+    pub capacity_headroom: f64,
+    /// How often the balancer runs.
+    pub interval: SimDuration,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            imbalance_tolerance: 0.10,
+            max_migrations_per_run: 16,
+            capacity_headroom: 0.90,
+            interval: SimDuration::from_mins(10),
+        }
+    }
+}
+
+/// Full application registration.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Service name (the discovery namespace).
+    pub name: Arc<str>,
+    /// Size of the flat shard key space `[0, max_shards)`. "A usual
+    /// deployment utilizes between 100k and 1M total shards" (§IV-A).
+    pub max_shards: u64,
+    pub replication: ReplicationMode,
+    pub spread: SpreadDomain,
+    pub balancer: BalancerConfig,
+}
+
+impl AppSpec {
+    /// A primary-only app, the mode Cubrick deploys per region.
+    pub fn primary_only(name: impl Into<Arc<str>>, max_shards: u64) -> Self {
+        AppSpec {
+            name: name.into(),
+            max_shards,
+            replication: ReplicationMode::PrimaryOnly,
+            spread: SpreadDomain::Host,
+            balancer: BalancerConfig::default(),
+        }
+    }
+
+    pub fn with_replication(mut self, replication: ReplicationMode) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    pub fn with_spread(mut self, spread: SpreadDomain) -> Self {
+        self.spread = spread;
+        self
+    }
+
+    pub fn with_balancer(mut self, balancer: BalancerConfig) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("app name must be non-empty".into());
+        }
+        if self.max_shards == 0 {
+            return Err("max_shards must be positive".into());
+        }
+        if self.replication.total_replicas() == 0 {
+            return Err("replication must yield at least one replica".into());
+        }
+        if !(0.0..=1.0).contains(&self.balancer.capacity_headroom) {
+            return Err("capacity_headroom must be in [0,1]".into());
+        }
+        if self.balancer.imbalance_tolerance < 0.0 {
+            return Err("imbalance_tolerance must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_counts() {
+        assert_eq!(ReplicationMode::PrimaryOnly.total_replicas(), 1);
+        assert_eq!(
+            ReplicationMode::PrimarySecondary { secondaries: 2 }.total_replicas(),
+            3
+        );
+        assert_eq!(
+            ReplicationMode::SecondaryOnly { replicas: 3 }.total_replicas(),
+            3
+        );
+    }
+
+    #[test]
+    fn roles() {
+        let ps = ReplicationMode::PrimarySecondary { secondaries: 2 };
+        assert_eq!(ps.role_of(0), Role::Primary);
+        assert_eq!(ps.role_of(1), Role::Secondary);
+        assert_eq!(ps.role_of(2), Role::Secondary);
+        assert_eq!(ReplicationMode::PrimaryOnly.role_of(0), Role::Primary);
+        assert_eq!(
+            ReplicationMode::SecondaryOnly { replicas: 2 }.role_of(0),
+            Role::Secondary
+        );
+    }
+
+    #[test]
+    fn builder_and_validation() {
+        let spec = AppSpec::primary_only("cubrick", 100_000)
+            .with_replication(ReplicationMode::SecondaryOnly { replicas: 3 })
+            .with_spread(SpreadDomain::Region);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.replication.total_replicas(), 3);
+        assert_eq!(spec.spread, SpreadDomain::Region);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(AppSpec::primary_only("", 10).validate().is_err());
+        assert!(AppSpec::primary_only("x", 0).validate().is_err());
+        let mut spec = AppSpec::primary_only("x", 10);
+        spec.replication = ReplicationMode::SecondaryOnly { replicas: 0 };
+        assert!(spec.validate().is_err());
+        let mut spec = AppSpec::primary_only("x", 10);
+        spec.balancer.capacity_headroom = 1.5;
+        assert!(spec.validate().is_err());
+        let mut spec = AppSpec::primary_only("x", 10);
+        spec.balancer.imbalance_tolerance = -0.1;
+        assert!(spec.validate().is_err());
+    }
+}

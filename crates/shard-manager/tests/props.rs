@@ -1,0 +1,179 @@
+//! Property-based tests of Shard Manager invariants: placement never
+//! violates capacity or spread, the balancer converges and never
+//! oscillates, allocation keeps the fleet consistent.
+
+use proptest::prelude::*;
+use scalewall_shard_manager::app_server::{AppServer, AppServerRegistry, MockAppServer};
+use scalewall_shard_manager::balancer::{fleet_stats, propose_rebalance};
+use scalewall_shard_manager::placement::{rank_candidates, HostSnapshot};
+use scalewall_shard_manager::{
+    AppSpec, BalancerConfig, HostId, HostInfo, HostState, Rack, Region, ShardId, SmConfig,
+    SmServer, SpreadDomain,
+};
+use scalewall_sim::SimTime;
+use std::collections::HashMap;
+
+fn snapshots_strategy() -> impl Strategy<Value = Vec<HostSnapshot>> {
+    proptest::collection::vec((10.0f64..1_000.0, 0.0f64..800.0, 0u32..4, 0u32..3), 2..30).prop_map(
+        |hosts| {
+            hosts
+                .into_iter()
+                .enumerate()
+                .map(|(i, (capacity, load, rack, region))| HostSnapshot {
+                    info: HostInfo::new(HostId(i as u64), Rack(rack), Region(region), capacity),
+                    state: HostState::Alive,
+                    load: load.min(capacity),
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    /// Placement candidates always respect headroom, exclusions and
+    /// spread, and are sorted by projected load fraction.
+    #[test]
+    fn placement_respects_constraints(
+        hosts in snapshots_strategy(),
+        weight in 0.1f64..200.0,
+        headroom in 0.5f64..1.0,
+    ) {
+        let excluded = vec![HostId(0)];
+        let used = vec![hosts[hosts.len() - 1].info.domain(SpreadDomain::Rack)];
+        let ranked =
+            rank_candidates(&hosts, weight, headroom, SpreadDomain::Rack, &used, &excluded);
+        let mut last = 0.0f64;
+        for c in &ranked {
+            prop_assert!(!excluded.contains(&c.host));
+            let snap = hosts.iter().find(|h| h.info.id == c.host).unwrap();
+            prop_assert!(snap.load + weight <= snap.info.capacity * headroom + 1e-9);
+            prop_assert!(!used.contains(&snap.info.domain(SpreadDomain::Rack)));
+            prop_assert!(c.projected >= last - 1e-12, "sorted by projected fraction");
+            last = c.projected;
+        }
+    }
+
+    /// The balancer's proposals (a) never overflow a receiver past
+    /// headroom, (b) never move a shard back and forth in one run, and
+    /// (c) never increase the max load fraction.
+    #[test]
+    fn balancer_proposals_safe(
+        loads in proptest::collection::vec((0u64..10, 0.5f64..40.0), 5..60),
+        host_count in 3u64..12,
+    ) {
+        let mut hosts: Vec<HostSnapshot> = (0..host_count)
+            .map(|i| HostSnapshot {
+                info: HostInfo::new(HostId(i), Rack(0), Region(0), 1_000.0),
+                state: HostState::Alive,
+                load: 0.0,
+            })
+            .collect();
+        let mut locations = Vec::new();
+        for (si, &(host_pick, weight)) in loads.iter().enumerate() {
+            let host = HostId(host_pick % host_count);
+            locations.push((ShardId(si as u64), host, weight));
+            hosts[(host_pick % host_count) as usize].load += weight;
+        }
+        let before = fleet_stats(&hosts);
+        let config = BalancerConfig { max_migrations_per_run: 64, ..Default::default() };
+        let proposals = propose_rebalance(&hosts, &locations, &config);
+
+        // No shard proposed twice.
+        let mut moved: Vec<u64> = proposals.iter().map(|p| p.shard.0).collect();
+        moved.sort_unstable();
+        let len = moved.len();
+        moved.dedup();
+        prop_assert_eq!(moved.len(), len, "each shard moves at most once per run");
+
+        // Apply and check invariants.
+        let mut after = hosts.clone();
+        for p in &proposals {
+            for h in after.iter_mut() {
+                if h.info.id == p.from {
+                    h.load -= p.weight;
+                }
+                if h.info.id == p.to {
+                    h.load += p.weight;
+                }
+            }
+        }
+        for h in &after {
+            prop_assert!(h.load >= -1e-9, "loads never negative");
+            prop_assert!(
+                h.load <= h.info.capacity * config.capacity_headroom + 1e-6
+                    || hosts.iter().find(|o| o.info.id == h.info.id).unwrap().load >= h.load,
+                "receivers stay within headroom"
+            );
+        }
+        let after_stats = fleet_stats(&after);
+        prop_assert!(
+            after_stats.max_fraction <= before.max_fraction + 1e-9,
+            "max load never increases: {} -> {}",
+            before.max_fraction,
+            after_stats.max_fraction
+        );
+    }
+}
+
+// ------------------------------------------------- full-server allocation
+
+#[derive(Default)]
+struct Fleet(HashMap<HostId, MockAppServer>);
+
+impl AppServerRegistry for Fleet {
+    fn server(&mut self, host: HostId) -> Option<&mut dyn AppServer> {
+        self.0.get_mut(&host).map(|s| s as &mut dyn AppServer)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Allocating any sequence of shards keeps the SM fleet consistent:
+    /// every shard has exactly the replica count its spec demands, all
+    /// replicas live on distinct hosts, and the app servers agree about
+    /// what they hold.
+    #[test]
+    fn allocation_consistency(
+        shard_ids in proptest::collection::btree_set(0u64..500, 1..40),
+        hosts in 2u64..12,
+        replicas in 1u32..3,
+    ) {
+        prop_assume!(hosts >= replicas as u64);
+        let mut sm = SmServer::standalone(SmConfig::default());
+        sm.register_app(
+            AppSpec::primary_only("app", 1_000).with_replication(
+                scalewall_shard_manager::ReplicationMode::SecondaryOnly { replicas },
+            ),
+        )
+        .unwrap();
+        let mut fleet = Fleet::default();
+        for i in 0..hosts {
+            sm.register_host(
+                HostInfo::new(HostId(i), Rack((i % 3) as u32), Region(0), 1e9),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            fleet.0.insert(HostId(i), MockAppServer::with_capacity(1e9));
+        }
+        for &s in &shard_ids {
+            sm.allocate_shard("app", ShardId(s), 1.0, SimTime::ZERO, &mut fleet).unwrap();
+        }
+        for &s in &shard_ids {
+            let assigned = sm.replicas_of("app", ShardId(s)).unwrap();
+            prop_assert_eq!(assigned.len(), replicas as usize);
+            let mut hs: Vec<HostId> = assigned.iter().map(|&(h, _)| h).collect();
+            hs.sort();
+            let count = hs.len();
+            hs.dedup();
+            prop_assert_eq!(hs.len(), count, "replicas on distinct hosts");
+            for h in hs {
+                prop_assert!(fleet.0[&h].shards.contains_key(&s), "app server agrees");
+            }
+        }
+        // Load accounting adds up: total load = shards × replicas × weight.
+        let total: f64 = (0..hosts).map(|i| sm.host_load(HostId(i))).sum();
+        let expected = shard_ids.len() as f64 * replicas as f64;
+        prop_assert!((total - expected).abs() < 1e-6, "{total} vs {expected}");
+    }
+}

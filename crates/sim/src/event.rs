@@ -1,0 +1,211 @@
+//! Discrete-event queue.
+//!
+//! The simulation advances by repeatedly popping the earliest scheduled
+//! event. Ordering is a *total* order: ties on time are broken by insertion
+//! sequence number, so two runs with the same seed produce byte-identical
+//! histories — the property every experiment in `crates/bench` relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event of payload type `E` scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    pub time: SimTime,
+    /// Monotone insertion sequence; breaks ties deterministically.
+    pub seq: u64,
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with a monotone clock.
+///
+/// The queue owns the notion of "now": popping an event advances the clock
+/// to that event's timestamp, and scheduling in the past is a logic error
+/// (clamped to "now" with a debug assertion).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: SimTime,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (for run reports).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Scheduling before `now` is clamped to `now`; in debug builds it also
+    /// asserts, since it almost always indicates a modelling bug.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < {:?}",
+            self.now
+        );
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Schedule `payload` after a delay relative to `now`.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, payload: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drain and discard all pending events (e.g. at experiment horizon).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), "c");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), 0u8);
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(5), 1u8);
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.time, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn interleaved_scheduling_keeps_order() {
+        // Events scheduled while processing still sort correctly.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), 1u32);
+        q.schedule_at(SimTime::from_secs(4), 4u32);
+        let mut seen = Vec::new();
+        while let Some(ev) = q.pop() {
+            seen.push(ev.payload);
+            if ev.payload == 1 {
+                q.schedule_at(SimTime::from_secs(2), 2);
+                q.schedule_at(SimTime::from_secs(3), 3);
+            }
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation substrate for the `scalewall`
+//! reproduction of *Interactive Analytic DBMSs: Breaching the Scalability
+//! Wall* (ICDE 2021).
+//!
+//! The paper's evaluation ran on a production fleet of thousands of servers;
+//! this crate replaces that hardware with a deterministic simulation kernel:
+//!
+//! * [`time`] — simulated time as integer nanoseconds ([`SimTime`],
+//!   [`SimDuration`]); a simulated week advances event time only.
+//! * [`event`] — a total-order event queue with stable tie-breaking, so the
+//!   same seed always replays the same history.
+//! * [`rng`] — seedable, forkable random source ([`SimRng`]); every stochastic
+//!   process in the workspace draws from one of these.
+//! * [`dist`] — the parametric families used by the paper's models:
+//!   exponential, normal/log-normal (tail latency), Pareto (heavy tails),
+//!   Zipf (access skew), Bernoulli and Poisson processes (failures).
+//! * [`stats`] — online statistics: log-bucketed latency histograms with
+//!   percentile queries, Welford accumulators, daily time-series counters.
+//!
+//! Nothing in this crate knows about databases or shards; it is the
+//! hardware-and-physics layer everything else runs on.
+
+pub mod dist;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::{
+    Bernoulli, Exponential, LogNormal, Normal, Pareto, PoissonProcess, TailLatency, Zipf,
+};
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use stats::{DailyCounter, Histogram, Summary, Welford};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,27 @@
+//! Zookeeper-like coordination store.
+//!
+//! The paper's Shard Manager persists its state in *Zeus*, Facebook's
+//! Zookeeper implementation, and uses it to collect heartbeats from
+//! application servers (§III-A "Datastore"). This crate provides the
+//! semantics SM actually depends on, in process and under simulated time:
+//!
+//! * a hierarchical namespace of versioned **znodes** ([`store`]),
+//! * **ephemeral** nodes bound to client **sessions** that expire when
+//!   heartbeats stop ([`session`]),
+//! * one-shot **watches** that fire on create / data change / delete /
+//!   children change ([`watch`]).
+//!
+//! The store is deliberately synchronous and single-writer: the simulation
+//! driver owns it and advances its clock, which keeps every run
+//! deterministic. Nothing here knows about shards — it is a general
+//! coordination substrate.
+
+pub mod error;
+pub mod session;
+pub mod store;
+pub mod watch;
+
+pub use error::{ZkError, ZkResult};
+pub use session::{SessionConfig, SessionId};
+pub use store::{NodeKind, NodeStat, ZkStore};
+pub use watch::{WatchEvent, WatchEventKind, WatchKind};

@@ -1,0 +1,82 @@
+//! Client sessions and heartbeat liveness.
+//!
+//! A session is the liveness anchor for ephemeral nodes: application
+//! servers heartbeat their session, and when heartbeats stop for longer
+//! than the session timeout, the session expires and all its ephemeral
+//! nodes are deleted (firing watches). This is the mechanism by which
+//! Shard Manager detects dead application servers.
+
+use scalewall_sim::{SimDuration, SimTime};
+
+/// Unique session identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sess-{}", self.0)
+    }
+}
+
+/// Session timeout configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// A session expires when no heartbeat is seen for this long.
+    pub timeout: SimDuration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        // Production Zookeeper session timeouts are typically seconds to
+        // tens of seconds; 10 s is a common default.
+        SessionConfig {
+            timeout: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Internal per-session state.
+#[derive(Debug, Clone)]
+pub(crate) struct Session {
+    pub last_heartbeat: SimTime,
+    pub timeout: SimDuration,
+    /// Paths of ephemeral nodes owned by this session.
+    pub ephemerals: Vec<String>,
+}
+
+impl Session {
+    pub(crate) fn new(now: SimTime, timeout: SimDuration) -> Self {
+        Session {
+            last_heartbeat: now,
+            timeout,
+            ephemerals: Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_expired(&self, now: SimTime) -> bool {
+        now.since(self.last_heartbeat) > self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_honours_timeout() {
+        let t0 = SimTime::from_secs(100);
+        let s = Session::new(t0, SimDuration::from_secs(10));
+        assert!(!s.is_expired(t0));
+        assert!(!s.is_expired(t0 + SimDuration::from_secs(10)));
+        assert!(s.is_expired(t0 + SimDuration::from_secs(11)));
+    }
+
+    #[test]
+    fn heartbeat_resets_expiry() {
+        let t0 = SimTime::from_secs(0);
+        let mut s = Session::new(t0, SimDuration::from_secs(5));
+        s.last_heartbeat = t0 + SimDuration::from_secs(4);
+        assert!(!s.is_expired(t0 + SimDuration::from_secs(8)));
+        assert!(s.is_expired(t0 + SimDuration::from_secs(10)));
+    }
+}

@@ -1,0 +1,741 @@
+//! The znode tree.
+//!
+//! A hierarchical namespace of versioned nodes with Zookeeper's core write
+//! semantics: create-with-parent-check, conditional `set_data`/`delete` on
+//! version, ephemeral ownership by session, and watch firing on mutation.
+
+use std::collections::HashMap;
+
+use scalewall_sim::SimTime;
+
+use crate::error::{ZkError, ZkResult};
+use crate::session::{Session, SessionConfig, SessionId};
+use crate::watch::{WatchEvent, WatchEventKind, WatchKind, WatchReg};
+
+/// Persistence class of a znode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Survives session expiry.
+    Persistent,
+    /// Deleted automatically when the owning session expires.
+    Ephemeral,
+}
+
+/// Metadata returned by read operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStat {
+    pub version: u64,
+    pub kind: NodeKind,
+    /// Owning session for ephemeral nodes.
+    pub owner: Option<SessionId>,
+    pub created_at: SimTime,
+    pub modified_at: SimTime,
+    pub num_children: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    data: Vec<u8>,
+    version: u64,
+    kind: NodeKind,
+    owner: Option<SessionId>,
+    created_at: SimTime,
+    modified_at: SimTime,
+    children: Vec<String>, // child *names* (last path segment), sorted
+}
+
+/// In-process coordination store under simulated time.
+///
+/// All mutating calls take `now` explicitly; the store never consults a
+/// wall clock. Fired watch events accumulate internally and are drained by
+/// the single consumer via [`ZkStore::drain_events`].
+#[derive(Debug)]
+pub struct ZkStore {
+    nodes: HashMap<String, Node>,
+    sessions: HashMap<SessionId, Session>,
+    watches: HashMap<String, Vec<WatchReg>>,
+    pending_events: Vec<WatchEvent>,
+    next_session: u64,
+    session_config: SessionConfig,
+}
+
+impl Default for ZkStore {
+    fn default() -> Self {
+        Self::new(SessionConfig::default())
+    }
+}
+
+/// Validate a path: absolute, no empty or dot segments, no trailing slash
+/// (except the root itself).
+fn validate_path(path: &str) -> ZkResult<()> {
+    let invalid = |reason| {
+        Err(ZkError::InvalidPath {
+            path: path.to_string(),
+            reason,
+        })
+    };
+    if !path.starts_with('/') {
+        return invalid("must be absolute");
+    }
+    if path == "/" {
+        return Ok(());
+    }
+    if path.ends_with('/') {
+        return invalid("trailing slash");
+    }
+    for seg in path[1..].split('/') {
+        if seg.is_empty() {
+            return invalid("empty segment");
+        }
+        if seg == "." || seg == ".." {
+            return invalid("dot segment");
+        }
+    }
+    Ok(())
+}
+
+/// Parent path of a validated non-root path.
+fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) => "/",
+        Some(i) => &path[..i],
+        None => "/",
+    }
+}
+
+/// Last segment of a validated non-root path.
+fn leaf_of(path: &str) -> &str {
+    &path[path.rfind('/').map(|i| i + 1).unwrap_or(0)..]
+}
+
+impl ZkStore {
+    pub fn new(session_config: SessionConfig) -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            "/".to_string(),
+            Node {
+                data: Vec::new(),
+                version: 0,
+                kind: NodeKind::Persistent,
+                owner: None,
+                created_at: SimTime::ZERO,
+                modified_at: SimTime::ZERO,
+                children: Vec::new(),
+            },
+        );
+        ZkStore {
+            nodes,
+            sessions: HashMap::new(),
+            watches: HashMap::new(),
+            pending_events: Vec::new(),
+            next_session: 1,
+            session_config,
+        }
+    }
+
+    // ---------------------------------------------------------------- sessions
+
+    /// Open a new session with the store-default timeout.
+    pub fn create_session(&mut self, now: SimTime) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions
+            .insert(id, Session::new(now, self.session_config.timeout));
+        id
+    }
+
+    /// Record a heartbeat. Fails if the session already expired.
+    pub fn heartbeat(&mut self, session: SessionId, now: SimTime) -> ZkResult<()> {
+        let s = self
+            .sessions
+            .get_mut(&session)
+            .ok_or(ZkError::SessionExpired { session: session.0 })?;
+        if s.is_expired(now) {
+            // A heartbeat arriving after expiry cannot resurrect a session;
+            // the caller must reconnect (i.e. open a new session).
+            return Err(ZkError::SessionExpired { session: session.0 });
+        }
+        s.last_heartbeat = now;
+        Ok(())
+    }
+
+    /// Unconditionally refresh a session's heartbeat, even past its
+    /// timeout, as long as expiry has not been *processed* yet (the
+    /// session still exists). Coarse-grained simulation drivers use this
+    /// to assert "this client was alive and heartbeating throughout the
+    /// interval we just skipped"; event-granular clients should use
+    /// [`heartbeat`], which refuses late beats.
+    ///
+    /// [`heartbeat`]: ZkStore::heartbeat
+    pub fn refresh_session(&mut self, session: SessionId, now: SimTime) -> bool {
+        match self.sessions.get_mut(&session) {
+            Some(s) => {
+                s.last_heartbeat = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a session exists and has not timed out as of `now`.
+    pub fn session_alive(&self, session: SessionId, now: SimTime) -> bool {
+        self.sessions
+            .get(&session)
+            .is_some_and(|s| !s.is_expired(now))
+    }
+
+    /// Expire timed-out sessions, deleting their ephemeral nodes (firing
+    /// watches). Returns the sessions that expired. Call this whenever the
+    /// driver advances time.
+    pub fn expire_sessions(&mut self, now: SimTime) -> Vec<SessionId> {
+        let expired: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.is_expired(now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            self.close_session_inner(*id, now);
+        }
+        expired
+    }
+
+    /// Close a session explicitly (clean shutdown), deleting its ephemerals.
+    pub fn close_session(&mut self, session: SessionId, now: SimTime) {
+        self.close_session_inner(session, now);
+    }
+
+    fn close_session_inner(&mut self, session: SessionId, now: SimTime) {
+        let Some(s) = self.sessions.remove(&session) else {
+            return;
+        };
+        // Delete deepest-first so parents empty out before their own delete.
+        let mut paths = s.ephemerals;
+        paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        for path in paths {
+            // Ignore errors: the node may already be gone.
+            let _ = self.delete_inner(&path, None, now, /* bypass_owner */ true);
+        }
+    }
+
+    // ------------------------------------------------------------------ writes
+
+    /// Create a node. Parent must exist and not be ephemeral. Ephemeral
+    /// creates require a live session.
+    pub fn create(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        kind: NodeKind,
+        session: Option<SessionId>,
+        now: SimTime,
+    ) -> ZkResult<()> {
+        validate_path(path)?;
+        if path == "/" {
+            return Err(ZkError::NodeExists {
+                path: path.to_string(),
+            });
+        }
+        if self.nodes.contains_key(path) {
+            return Err(ZkError::NodeExists {
+                path: path.to_string(),
+            });
+        }
+        let owner = match kind {
+            NodeKind::Ephemeral => {
+                let sid = session.ok_or(ZkError::SessionExpired { session: 0 })?;
+                if !self.sessions.contains_key(&sid) {
+                    return Err(ZkError::SessionExpired { session: sid.0 });
+                }
+                Some(sid)
+            }
+            NodeKind::Persistent => None,
+        };
+        let parent = parent_of(path).to_string();
+        {
+            let p = self
+                .nodes
+                .get_mut(&parent)
+                .ok_or_else(|| ZkError::NoParent {
+                    path: path.to_string(),
+                })?;
+            if p.kind == NodeKind::Ephemeral {
+                return Err(ZkError::NoChildrenForEphemerals {
+                    path: parent.clone(),
+                });
+            }
+            let leaf = leaf_of(path).to_string();
+            match p.children.binary_search(&leaf) {
+                Ok(_) => unreachable!("child listed but node missing"),
+                Err(pos) => p.children.insert(pos, leaf),
+            }
+        }
+        self.nodes.insert(
+            path.to_string(),
+            Node {
+                data: data.to_vec(),
+                version: 0,
+                kind,
+                owner,
+                created_at: now,
+                modified_at: now,
+                children: Vec::new(),
+            },
+        );
+        if let Some(sid) = owner {
+            self.sessions
+                .get_mut(&sid)
+                .expect("checked above")
+                .ephemerals
+                .push(path.to_string());
+        }
+        self.fire(path, WatchEventKind::Created);
+        self.fire(&parent, WatchEventKind::ChildrenChanged);
+        Ok(())
+    }
+
+    /// Create the node and any missing persistent ancestors.
+    pub fn create_recursive(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        kind: NodeKind,
+        session: Option<SessionId>,
+        now: SimTime,
+    ) -> ZkResult<()> {
+        validate_path(path)?;
+        // Build missing ancestors as persistent empty nodes.
+        let mut prefix = String::new();
+        let segs: Vec<&str> = path[1..].split('/').collect();
+        for seg in &segs[..segs.len().saturating_sub(1)] {
+            prefix.push('/');
+            prefix.push_str(seg);
+            if !self.nodes.contains_key(&prefix) {
+                self.create(&prefix, &[], NodeKind::Persistent, None, now)?;
+            }
+        }
+        self.create(path, data, kind, session, now)
+    }
+
+    /// Overwrite node data. `expected_version` of `None` is unconditional.
+    pub fn set_data(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        expected_version: Option<u64>,
+        now: SimTime,
+    ) -> ZkResult<u64> {
+        validate_path(path)?;
+        let node = self.nodes.get_mut(path).ok_or_else(|| ZkError::NoNode {
+            path: path.to_string(),
+        })?;
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                return Err(ZkError::BadVersion {
+                    path: path.to_string(),
+                    expected,
+                    actual: node.version,
+                });
+            }
+        }
+        node.data = data.to_vec();
+        node.version += 1;
+        node.modified_at = now;
+        let v = node.version;
+        self.fire(path, WatchEventKind::DataChanged);
+        Ok(v)
+    }
+
+    /// Delete a childless node. `expected_version` of `None` is unconditional.
+    pub fn delete(
+        &mut self,
+        path: &str,
+        expected_version: Option<u64>,
+        now: SimTime,
+    ) -> ZkResult<()> {
+        validate_path(path)?;
+        self.delete_inner(path, expected_version, now, false)
+    }
+
+    fn delete_inner(
+        &mut self,
+        path: &str,
+        expected_version: Option<u64>,
+        _now: SimTime,
+        bypass_owner: bool,
+    ) -> ZkResult<()> {
+        if path == "/" {
+            return Err(ZkError::InvalidPath {
+                path: path.into(),
+                reason: "cannot delete root",
+            });
+        }
+        let node = self.nodes.get(path).ok_or_else(|| ZkError::NoNode {
+            path: path.to_string(),
+        })?;
+        if !node.children.is_empty() {
+            return Err(ZkError::NotEmpty {
+                path: path.to_string(),
+            });
+        }
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                return Err(ZkError::BadVersion {
+                    path: path.to_string(),
+                    expected,
+                    actual: node.version,
+                });
+            }
+        }
+        let owner = node.owner;
+        self.nodes.remove(path);
+        let parent = parent_of(path).to_string();
+        if let Some(p) = self.nodes.get_mut(&parent) {
+            let leaf = leaf_of(path);
+            if let Ok(pos) = p.children.binary_search_by(|c| c.as_str().cmp(leaf)) {
+                p.children.remove(pos);
+            }
+        }
+        if !bypass_owner {
+            if let Some(sid) = owner {
+                if let Some(s) = self.sessions.get_mut(&sid) {
+                    s.ephemerals.retain(|p| p != path);
+                }
+            }
+        }
+        self.fire(path, WatchEventKind::Deleted);
+        self.fire(&parent, WatchEventKind::ChildrenChanged);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------- reads
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    pub fn get_data(&self, path: &str) -> ZkResult<&[u8]> {
+        self.nodes
+            .get(path)
+            .map(|n| n.data.as_slice())
+            .ok_or_else(|| ZkError::NoNode {
+                path: path.to_string(),
+            })
+    }
+
+    pub fn stat(&self, path: &str) -> ZkResult<NodeStat> {
+        self.nodes
+            .get(path)
+            .map(|n| NodeStat {
+                version: n.version,
+                kind: n.kind,
+                owner: n.owner,
+                created_at: n.created_at,
+                modified_at: n.modified_at,
+                num_children: n.children.len(),
+            })
+            .ok_or_else(|| ZkError::NoNode {
+                path: path.to_string(),
+            })
+    }
+
+    /// Sorted child *names* (not full paths).
+    pub fn get_children(&self, path: &str) -> ZkResult<&[String]> {
+        self.nodes
+            .get(path)
+            .map(|n| n.children.as_slice())
+            .ok_or_else(|| ZkError::NoNode {
+                path: path.to_string(),
+            })
+    }
+
+    /// Number of nodes excluding the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ----------------------------------------------------------------- watches
+
+    /// Register a one-shot watch. The path need not exist yet (a `Node`
+    /// watch on a missing path fires on creation).
+    pub fn watch(&mut self, path: &str, kind: WatchKind, token: u64) -> ZkResult<()> {
+        validate_path(path)?;
+        self.watches
+            .entry(path.to_string())
+            .or_default()
+            .push(WatchReg { kind, token });
+        Ok(())
+    }
+
+    /// Drain all watch events fired since the last drain.
+    pub fn drain_events(&mut self) -> Vec<WatchEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
+    fn fire(&mut self, path: &str, ev: WatchEventKind) {
+        let Some(regs) = self.watches.get_mut(path) else {
+            return;
+        };
+        let mut fired = Vec::new();
+        regs.retain(|r| {
+            if r.matches(ev) {
+                fired.push(WatchEvent {
+                    path: path.to_string(),
+                    kind: ev,
+                    token: r.token,
+                });
+                false // one-shot: consumed
+            } else {
+                true
+            }
+        });
+        if regs.is_empty() {
+            self.watches.remove(path);
+        }
+        self.pending_events.extend(fired);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalewall_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn store() -> ZkStore {
+        ZkStore::default()
+    }
+
+    #[test]
+    fn create_and_read() {
+        let mut zk = store();
+        zk.create("/a", b"hello", NodeKind::Persistent, None, t(1))
+            .unwrap();
+        assert_eq!(zk.get_data("/a").unwrap(), b"hello");
+        let stat = zk.stat("/a").unwrap();
+        assert_eq!(stat.version, 0);
+        assert_eq!(stat.kind, NodeKind::Persistent);
+        assert_eq!(stat.created_at, t(1));
+    }
+
+    #[test]
+    fn create_requires_parent() {
+        let mut zk = store();
+        let err = zk
+            .create("/a/b", b"", NodeKind::Persistent, None, t(0))
+            .unwrap_err();
+        assert!(matches!(err, ZkError::NoParent { .. }));
+        zk.create_recursive("/a/b/c", b"x", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        assert!(zk.exists("/a"));
+        assert!(zk.exists("/a/b"));
+        assert_eq!(zk.get_data("/a/b/c").unwrap(), b"x");
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut zk = store();
+        zk.create("/a", b"", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        let err = zk
+            .create("/a", b"", NodeKind::Persistent, None, t(0))
+            .unwrap_err();
+        assert!(matches!(err, ZkError::NodeExists { .. }));
+    }
+
+    #[test]
+    fn path_validation() {
+        let mut zk = store();
+        for bad in ["relative", "/a/", "/a//b", "/a/./b", "/a/../b", ""] {
+            let err = zk
+                .create(bad, b"", NodeKind::Persistent, None, t(0))
+                .unwrap_err();
+            assert!(matches!(err, ZkError::InvalidPath { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn versioned_set_and_delete() {
+        let mut zk = store();
+        zk.create("/a", b"v0", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        let v1 = zk.set_data("/a", b"v1", Some(0), t(1)).unwrap();
+        assert_eq!(v1, 1);
+        let err = zk.set_data("/a", b"v2", Some(0), t(2)).unwrap_err();
+        assert!(matches!(
+            err,
+            ZkError::BadVersion {
+                expected: 0,
+                actual: 1,
+                ..
+            }
+        ));
+        let err = zk.delete("/a", Some(0), t(3)).unwrap_err();
+        assert!(matches!(err, ZkError::BadVersion { .. }));
+        zk.delete("/a", Some(1), t(3)).unwrap();
+        assert!(!zk.exists("/a"));
+    }
+
+    #[test]
+    fn delete_refuses_non_empty() {
+        let mut zk = store();
+        zk.create_recursive("/a/b", b"", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        let err = zk.delete("/a", None, t(1)).unwrap_err();
+        assert!(matches!(err, ZkError::NotEmpty { .. }));
+        zk.delete("/a/b", None, t(1)).unwrap();
+        zk.delete("/a", None, t(1)).unwrap();
+    }
+
+    #[test]
+    fn children_sorted() {
+        let mut zk = store();
+        zk.create("/svc", b"", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        for name in ["c", "a", "b"] {
+            zk.create(
+                &format!("/svc/{name}"),
+                b"",
+                NodeKind::Persistent,
+                None,
+                t(0),
+            )
+            .unwrap();
+        }
+        assert_eq!(zk.get_children("/svc").unwrap(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ephemeral_requires_session_and_dies_with_it() {
+        let mut zk = store();
+        zk.create("/hb", b"", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        let err = zk
+            .create("/hb/x", b"", NodeKind::Ephemeral, None, t(0))
+            .unwrap_err();
+        assert!(matches!(err, ZkError::SessionExpired { .. }));
+
+        let sid = zk.create_session(t(0));
+        zk.create("/hb/x", b"", NodeKind::Ephemeral, Some(sid), t(0))
+            .unwrap();
+        assert!(zk.exists("/hb/x"));
+
+        // Heartbeats keep it alive.
+        zk.heartbeat(sid, t(5)).unwrap();
+        assert!(zk.expire_sessions(t(14)).is_empty());
+        assert!(zk.exists("/hb/x"));
+
+        // Silence past the timeout kills session and node.
+        let expired = zk.expire_sessions(t(16));
+        assert_eq!(expired, vec![sid]);
+        assert!(!zk.exists("/hb/x"));
+        // Late heartbeat cannot resurrect.
+        assert!(zk.heartbeat(sid, t(17)).is_err());
+    }
+
+    #[test]
+    fn ephemeral_cannot_have_children() {
+        let mut zk = store();
+        let sid = zk.create_session(t(0));
+        zk.create("/e", b"", NodeKind::Ephemeral, Some(sid), t(0))
+            .unwrap();
+        let err = zk
+            .create("/e/c", b"", NodeKind::Persistent, None, t(0))
+            .unwrap_err();
+        assert!(matches!(err, ZkError::NoChildrenForEphemerals { .. }));
+    }
+
+    #[test]
+    fn close_session_removes_ephemerals_only() {
+        let mut zk = store();
+        let sid = zk.create_session(t(0));
+        zk.create("/p", b"", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        zk.create("/p/e1", b"", NodeKind::Ephemeral, Some(sid), t(0))
+            .unwrap();
+        zk.create("/p/e2", b"", NodeKind::Ephemeral, Some(sid), t(0))
+            .unwrap();
+        zk.close_session(sid, t(1));
+        assert!(zk.exists("/p"));
+        assert!(!zk.exists("/p/e1"));
+        assert!(!zk.exists("/p/e2"));
+    }
+
+    #[test]
+    fn node_watch_fires_once() {
+        let mut zk = store();
+        zk.create("/a", b"", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        zk.watch("/a", WatchKind::Node, 7).unwrap();
+        zk.set_data("/a", b"x", None, t(1)).unwrap();
+        zk.set_data("/a", b"y", None, t(2)).unwrap();
+        let events = zk.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, WatchEventKind::DataChanged);
+        assert_eq!(events[0].token, 7);
+        assert!(zk.drain_events().is_empty());
+    }
+
+    #[test]
+    fn watch_on_missing_path_fires_on_create() {
+        let mut zk = store();
+        zk.watch("/later", WatchKind::Node, 1).unwrap();
+        zk.create("/later", b"", NodeKind::Persistent, None, t(1))
+            .unwrap();
+        let events = zk.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, WatchEventKind::Created);
+    }
+
+    #[test]
+    fn children_watch_fires_on_membership_change() {
+        let mut zk = store();
+        zk.create("/svc", b"", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        zk.watch("/svc", WatchKind::Children, 3).unwrap();
+        zk.create("/svc/a", b"", NodeKind::Persistent, None, t(1))
+            .unwrap();
+        let events = zk.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, WatchEventKind::ChildrenChanged);
+        // One-shot: second change needs re-registration.
+        zk.create("/svc/b", b"", NodeKind::Persistent, None, t(2))
+            .unwrap();
+        assert!(zk.drain_events().is_empty());
+    }
+
+    #[test]
+    fn session_expiry_fires_watches_on_ephemerals() {
+        let mut zk = store();
+        zk.create("/hb", b"", NodeKind::Persistent, None, t(0))
+            .unwrap();
+        let sid = zk.create_session(t(0));
+        zk.create("/hb/h1", b"", NodeKind::Ephemeral, Some(sid), t(0))
+            .unwrap();
+        zk.watch("/hb/h1", WatchKind::Node, 42).unwrap();
+        zk.drain_events();
+        zk.expire_sessions(t(100));
+        let events = zk.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == WatchEventKind::Deleted && e.token == 42));
+    }
+
+    #[test]
+    fn session_alive_reflects_heartbeats() {
+        let mut zk = ZkStore::new(SessionConfig {
+            timeout: SimDuration::from_secs(3),
+        });
+        let sid = zk.create_session(t(0));
+        assert!(zk.session_alive(sid, t(2)));
+        assert!(!zk.session_alive(sid, t(4)));
+        assert!(!zk.session_alive(SessionId(999), t(0)));
+    }
+}

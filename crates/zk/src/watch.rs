@@ -1,0 +1,85 @@
+//! One-shot watches.
+//!
+//! Watches follow Zookeeper semantics: a watch is registered against a path
+//! for a kind of interest, fires **at most once** on the next matching
+//! change, and must be re-registered by the client if it wants further
+//! notifications. Shard Manager uses exactly this pattern to learn about
+//! application-server heartbeat loss ("If heartbeats stop, SM Server gets
+//! notified by zookeeper", §III-A).
+
+/// What a watch is interested in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WatchKind {
+    /// Fires on creation, data change, or deletion of the node itself.
+    Node,
+    /// Fires when the node's direct child set changes.
+    Children,
+}
+
+/// What actually happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WatchEventKind {
+    Created,
+    DataChanged,
+    Deleted,
+    ChildrenChanged,
+}
+
+/// A fired watch notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// Path the watch was registered on.
+    pub path: String,
+    pub kind: WatchEventKind,
+    /// Opaque client token supplied at registration; lets a single consumer
+    /// demultiplex many watches without string matching.
+    pub token: u64,
+}
+
+/// Internal registration record.
+#[derive(Debug, Clone)]
+pub(crate) struct WatchReg {
+    pub kind: WatchKind,
+    pub token: u64,
+}
+
+impl WatchReg {
+    /// Whether this registration matches an event kind.
+    pub(crate) fn matches(&self, ev: WatchEventKind) -> bool {
+        match self.kind {
+            WatchKind::Node => matches!(
+                ev,
+                WatchEventKind::Created | WatchEventKind::DataChanged | WatchEventKind::Deleted
+            ),
+            WatchKind::Children => matches!(ev, WatchEventKind::ChildrenChanged),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_watch_matches_node_events_only() {
+        let w = WatchReg {
+            kind: WatchKind::Node,
+            token: 0,
+        };
+        assert!(w.matches(WatchEventKind::Created));
+        assert!(w.matches(WatchEventKind::DataChanged));
+        assert!(w.matches(WatchEventKind::Deleted));
+        assert!(!w.matches(WatchEventKind::ChildrenChanged));
+    }
+
+    #[test]
+    fn children_watch_matches_children_events_only() {
+        let w = WatchReg {
+            kind: WatchKind::Children,
+            token: 0,
+        };
+        assert!(w.matches(WatchEventKind::ChildrenChanged));
+        assert!(!w.matches(WatchEventKind::Created));
+        assert!(!w.matches(WatchEventKind::Deleted));
+    }
+}

@@ -1,0 +1,101 @@
+//! The scalability wall, end to end: watch a fully-sharded table breach
+//! the 99 % SLA as the cluster grows while a partially-sharded one
+//! doesn't care.
+//!
+//! Run: `cargo run --release --example scalability_wall`
+
+use scalewall::cluster::deployment::{Deployment, DeploymentConfig};
+use scalewall::cluster::driver::{run_query, QueryOptions};
+use scalewall::cluster::net::{NetModel, NetModelConfig};
+use scalewall::cluster::wall::{success_ratio, wall_point};
+use scalewall::cluster::workload::standard_schema;
+use scalewall::cubrick::catalog::RowMapping;
+use scalewall::cubrick::proxy::{CubrickProxy, ProxyConfig};
+use scalewall::cubrick::query::Query;
+use scalewall::cubrick::sharding::ShardMapping;
+use scalewall::sim::{SimDuration, SimRng, SimTime};
+
+const FAILURE_P: f64 = 1e-4; // the paper's 0.01 % per-server failure
+const SLA: f64 = 0.99;
+
+fn measured_success(dep: &mut Deployment, table: &str, queries: u64, seed: u64) -> f64 {
+    let mut proxy = CubrickProxy::new(ProxyConfig {
+        max_retries: 0,
+        ..Default::default()
+    });
+    let net = NetModel::new(NetModelConfig {
+        server_failure_probability: FAILURE_P,
+        ..Default::default()
+    });
+    let mut rng = SimRng::new(seed);
+    let query = Query::count_star(table);
+    let opts = QueryOptions {
+        execute_data: false,
+        ..Default::default()
+    };
+    let mut now = SimTime::from_secs(3_600);
+    let mut ok = 0u64;
+    for _ in 0..queries {
+        if run_query(dep, &mut proxy, &net, &query, &opts, now, &mut rng).success {
+            ok += 1;
+        }
+        now += SimDuration::from_millis(500);
+    }
+    ok as f64 / queries as f64
+}
+
+fn main() {
+    println!(
+        "theoretical wall for p={FAILURE_P}, SLA={SLA}: {} nodes\n",
+        wall_point(FAILURE_P, SLA)
+    );
+    println!(
+        "{:>6}  {:>12} {:>10}  {:>14}  {:>8}",
+        "hosts", "full-shard", "(model)", "partial-shard", "verdict"
+    );
+    for hosts in [8u32, 32, 64, 128, 192] {
+        let mut dep = Deployment::new(DeploymentConfig {
+            regions: 3,
+            hosts_per_region: hosts,
+            racks_per_region: (hosts / 8).max(1),
+            max_shards: 100_000,
+            ..Default::default()
+        });
+        // Fully sharded: the table spans every host → fan-out grows with
+        // the cluster. Partially sharded: always 8 partitions.
+        dep.create_table(
+            "full",
+            standard_schema(365),
+            hosts,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            SimTime::ZERO,
+        )
+        .expect("create full");
+        dep.create_table(
+            "partial",
+            standard_schema(365),
+            8,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            SimTime::ZERO,
+        )
+        .expect("create partial");
+
+        let full = measured_success(&mut dep, "full", 4_000, hosts as u64);
+        let partial = measured_success(&mut dep, "partial", 4_000, hosts as u64 + 1);
+        println!(
+            "{hosts:>6}  {full:>12.4} {:>10.4}  {partial:>14.4}  {}",
+            success_ratio(hosts as u64, FAILURE_P),
+            if full < SLA {
+                "full-sharding BREACHES SLA"
+            } else {
+                "ok"
+            }
+        );
+    }
+    println!(
+        "\npartial sharding keeps fan-out (and the SLA) constant while the\n\
+         cluster scales out — the paper's strategy for breaching the wall."
+    );
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the full `scalewall` stack.
+pub use cubrick;
+pub use scalewall_cluster as cluster;
+pub use scalewall_discovery as discovery;
+pub use scalewall_shard_manager as shard_manager;
+pub use scalewall_sim as sim;
+pub use scalewall_zk as zk;

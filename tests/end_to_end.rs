@@ -1,0 +1,248 @@
+//! End-to-end integration: full three-region cluster, real data, the
+//! whole query path, and failure handling — spanning every crate.
+
+use scalewall::cluster::deployment::{Deployment, DeploymentConfig, APP};
+use scalewall::cluster::driver::{run_query, QueryOptions};
+use scalewall::cluster::net::{NetModel, NetModelConfig};
+use scalewall::cubrick::catalog::RowMapping;
+use scalewall::cubrick::proxy::{CubrickProxy, ProxyConfig};
+use scalewall::cubrick::query::parse_query;
+use scalewall::cubrick::schema::SchemaBuilder;
+use scalewall::cubrick::sharding::ShardMapping;
+use scalewall::cubrick::value::{Row, Value};
+use scalewall::shard_manager::Region;
+use scalewall::sim::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
+
+fn schema() -> Arc<scalewall::cubrick::schema::Schema> {
+    Arc::new(
+        SchemaBuilder::new()
+            .int_dim("ds", 0, 100, 10)
+            .str_dim("app", 50, 10)
+            .metric("events")
+            .build()
+            .unwrap(),
+    )
+}
+
+struct Harness {
+    dep: Deployment,
+    proxy: CubrickProxy,
+    net: NetModel,
+    rng: SimRng,
+    now: SimTime,
+}
+
+impl Harness {
+    fn new(seed: u64) -> Self {
+        let mut dep = Deployment::new(DeploymentConfig {
+            regions: 3,
+            hosts_per_region: 10,
+            max_shards: 10_000,
+            seed,
+            ..Default::default()
+        });
+        dep.create_table(
+            "events",
+            schema(),
+            4,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..3_000)
+            .map(|i| {
+                Row::new(
+                    vec![Value::Int(i % 100), Value::Str(format!("app{}", i % 7))],
+                    vec![(i % 13) as f64],
+                )
+            })
+            .collect();
+        dep.ingest("events", &rows).unwrap();
+        Harness {
+            dep,
+            proxy: CubrickProxy::new(ProxyConfig::default()),
+            net: NetModel::new(NetModelConfig {
+                server_failure_probability: 0.0,
+                ..Default::default()
+            }),
+            rng: SimRng::new(seed),
+            now: SimTime::from_secs(3_600),
+        }
+    }
+
+    fn query(&mut self, text: &str) -> scalewall::cluster::driver::QueryOutcome {
+        let q = parse_query(text).unwrap();
+        self.dep.tick(self.now);
+        let outcome = run_query(
+            &mut self.dep,
+            &mut self.proxy,
+            &self.net,
+            &q,
+            &QueryOptions::default(),
+            self.now,
+            &mut self.rng,
+        );
+        self.now += SimDuration::from_millis(500);
+        outcome
+    }
+}
+
+/// Oracle: 3000 rows, events = i % 13, ds = i % 100, app = app{i%7}.
+fn oracle_total_events() -> f64 {
+    (0..3_000).map(|i| (i % 13) as f64).sum()
+}
+
+#[test]
+fn distributed_query_matches_oracle() {
+    let mut h = Harness::new(1);
+    let outcome = h.query("select sum(events), count(*) from events");
+    assert!(outcome.success);
+    let out = outcome.output.unwrap();
+    assert_eq!(out.rows[0].aggs[0], oracle_total_events());
+    assert_eq!(out.rows[0].aggs[1], 3_000.0);
+    assert_eq!(out.table_partitions, 4);
+}
+
+#[test]
+fn filtered_group_by_matches_oracle() {
+    let mut h = Harness::new(2);
+    let outcome = h.query("select count(*) from events where ds between 0 and 9 group by app");
+    assert!(outcome.success);
+    let out = outcome.output.unwrap();
+    // Oracle by brute force.
+    let mut expected: std::collections::HashMap<String, f64> = Default::default();
+    for i in 0..3_000i64 {
+        if i % 100 <= 9 {
+            *expected.entry(format!("app{}", i % 7)).or_default() += 1.0;
+        }
+    }
+    assert_eq!(out.rows.len(), expected.len());
+    for row in &out.rows {
+        let key = row.key[0].as_str().unwrap();
+        assert_eq!(row.aggs[0], expected[key], "group {key}");
+    }
+}
+
+#[test]
+fn host_failure_is_transparent_and_results_stay_exact() {
+    let mut h = Harness::new(3);
+    // Baseline.
+    assert!(h.query("select count(*) from events").success);
+
+    // Kill every shard-owning host's worth of one host in region 0.
+    let victim = {
+        let region = &h.dep.regions[0];
+        region
+            .nodes
+            .hosts()
+            .find(|&hh| !region.sm.shards_on(APP, hh).is_empty())
+            .expect("an owner exists")
+    };
+    h.dep.fail_host(0, victim, h.now);
+
+    // Immediately after the failure queries must still succeed (retried
+    // into another region if region 0 is hit).
+    for _ in 0..20 {
+        let outcome = h.query("select sum(events) from events");
+        assert!(outcome.success, "{:?}", outcome.error);
+        assert_eq!(
+            outcome.output.unwrap().rows[0].aggs[0],
+            oracle_total_events()
+        );
+    }
+
+    // After failover completes, region 0 serves again from a new host.
+    h.now += SimDuration::from_hours(1);
+    h.dep.tick(h.now);
+    let shards = h.dep.catalog.read().shards_of_table("events").unwrap();
+    for &s in &shards {
+        let owner = h.dep.regions[0].authoritative_host(s).expect("reassigned");
+        assert_ne!(owner, victim);
+        assert!(h.dep.regions[0].nodes.node(owner).unwrap().shard_ready(s));
+    }
+    let outcome = h.query("select sum(events) from events");
+    assert!(outcome.success);
+}
+
+#[test]
+fn top_n_query_across_partitions() {
+    let mut h = Harness::new(7);
+    // Top 3 apps by count, descending — merged across all partitions,
+    // then ordered and truncated at the coordinator.
+    let outcome =
+        h.query("select count(*) from events group by app order by count(*) desc limit 3");
+    assert!(outcome.success, "{:?}", outcome.error);
+    let out = outcome.output.unwrap();
+    assert_eq!(out.rows.len(), 3);
+    // Oracle: app{i%7} over 3000 rows → apps 0..4 get 429, apps 5,6 get
+    // 428; descending counts must be non-increasing and match the top.
+    assert!(out.rows[0].aggs[0] >= out.rows[1].aggs[0]);
+    assert!(out.rows[1].aggs[0] >= out.rows[2].aggs[0]);
+    assert_eq!(out.rows[0].aggs[0], 429.0);
+    // Ascending dim order with a limit.
+    let outcome = h.query("select count(*) from events group by app order by app limit 2");
+    let out = outcome.output.unwrap();
+    assert_eq!(out.rows.len(), 2);
+    assert_eq!(
+        out.rows[0].key[0],
+        scalewall::cubrick::value::Value::Str("app0".into())
+    );
+    assert_eq!(
+        out.rows[1].key[0],
+        scalewall::cubrick::value::Value::Str("app1".into())
+    );
+}
+
+#[test]
+fn whole_region_outage_served_by_other_regions() {
+    let mut h = Harness::new(4);
+    h.dep.regions[1].available = false;
+    h.dep.regions[2].available = false;
+    // Only region 0 is up; clients in region 1 still get answers.
+    let q = parse_query("select count(*) from events").unwrap();
+    let outcome = run_query(
+        &mut h.dep,
+        &mut h.proxy,
+        &h.net,
+        &q,
+        &QueryOptions {
+            client_region: Region(1),
+            ..Default::default()
+        },
+        h.now,
+        &mut h.rng,
+    );
+    assert!(outcome.success);
+    assert_eq!(outcome.output.unwrap().rows[0].aggs[0], 3_000.0);
+}
+
+#[test]
+fn unknown_tables_and_columns_fail_cleanly() {
+    let mut h = Harness::new(5);
+    assert!(!h.query("select count(*) from nope").success);
+    let outcome = h.query("select sum(zz) from events");
+    assert!(!outcome.success);
+    assert!(matches!(
+        outcome.error,
+        Some(scalewall::cubrick::error::CubrickError::NoSuchColumn { .. })
+    ));
+    // The cluster still works afterwards.
+    assert!(h.query("select count(*) from events").success);
+    assert_eq!(h.proxy.active_queries(), 0, "admission slots all released");
+}
+
+#[test]
+fn drop_table_stops_serving_and_frees_shards() {
+    let mut h = Harness::new(6);
+    let shards = h.dep.catalog.read().shards_of_table("events").unwrap();
+    h.dep.drop_table("events", h.now).unwrap();
+    assert!(!h.query("select count(*) from events").success);
+    for region in &h.dep.regions {
+        for &s in &shards {
+            assert!(region.authoritative_host(s).is_none());
+        }
+        assert_eq!(region.store.read().partition_count(), 0);
+    }
+}

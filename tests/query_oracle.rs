@@ -1,0 +1,205 @@
+//! Property-based integration: distributed query results must equal a
+//! naive row-store oracle for randomized workloads, schemas, predicates
+//! and compression states.
+
+use proptest::prelude::*;
+use scalewall::cubrick::hotness::MemoryMonitorConfig;
+use scalewall::cubrick::query::{execute_partition, AggFunc, AggSpec, Predicate, Query};
+use scalewall::cubrick::schema::SchemaBuilder;
+use scalewall::cubrick::store::PartitionData;
+use scalewall::cubrick::value::{Row, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const DS_MAX: i64 = 60;
+const APPS: usize = 6;
+
+#[derive(Debug, Clone)]
+struct OracleRow {
+    ds: i64,
+    app: usize,
+    m: f64,
+}
+
+fn partition_from(rows: &[OracleRow], compress: bool) -> PartitionData {
+    let schema = Arc::new(
+        SchemaBuilder::new()
+            .int_dim("ds", 0, DS_MAX, 7)
+            .str_dim("app", 32, 5)
+            .metric("m")
+            .build()
+            .unwrap(),
+    );
+    let mut p = PartitionData::new(schema);
+    for r in rows {
+        p.ingest(&Row::new(
+            vec![Value::Int(r.ds), Value::Str(format!("app{}", r.app))],
+            vec![r.m],
+        ))
+        .unwrap();
+    }
+    if compress {
+        p.run_memory_monitor(&MemoryMonitorConfig {
+            budget_bytes: 0,
+            ..Default::default()
+        });
+    }
+    p
+}
+
+fn row_strategy() -> impl Strategy<Value = OracleRow> {
+    (0..DS_MAX, 0..APPS, -100.0f64..100.0).prop_map(|(ds, app, m)| OracleRow { ds, app, m })
+}
+
+#[derive(Debug, Clone)]
+enum Pred {
+    DsEq(i64),
+    DsBetween(i64, i64),
+    AppEq(usize),
+    AppIn(Vec<usize>),
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        (0..DS_MAX).prop_map(Pred::DsEq),
+        (0..DS_MAX, 0..DS_MAX).prop_map(|(a, b)| Pred::DsBetween(a.min(b), a.max(b))),
+        (0..APPS).prop_map(Pred::AppEq),
+        proptest::collection::vec(0..APPS, 1..4).prop_map(Pred::AppIn),
+    ]
+}
+
+fn matches(r: &OracleRow, p: &Pred) -> bool {
+    match p {
+        Pred::DsEq(v) => r.ds == *v,
+        Pred::DsBetween(lo, hi) => r.ds >= *lo && r.ds <= *hi,
+        Pred::AppEq(a) => r.app == *a,
+        Pred::AppIn(aps) => aps.contains(&r.app),
+    }
+}
+
+fn to_predicate(p: &Pred) -> Predicate {
+    match p {
+        Pred::DsEq(v) => Predicate::eq("ds", *v),
+        Pred::DsBetween(lo, hi) => Predicate::between("ds", *lo, *hi),
+        Pred::AppEq(a) => Predicate::eq("app", format!("app{a}").as_str()),
+        Pred::AppIn(aps) => Predicate::is_in(
+            "app",
+            aps.iter().map(|a| Value::Str(format!("app{a}"))).collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sum_and_count_match_oracle(
+        rows in proptest::collection::vec(row_strategy(), 0..400),
+        preds in proptest::collection::vec(pred_strategy(), 0..3),
+        compress in any::<bool>(),
+    ) {
+        let mut partition = partition_from(&rows, compress);
+        let query = Query {
+            table: "t".into(),
+            aggs: vec![AggSpec::new(AggFunc::Sum, "m"), AggSpec::count_star()],
+            predicates: preds.iter().map(to_predicate).collect(),
+            group_by: vec![],
+            order_by: None,
+            limit: None,
+        };
+        let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
+
+        let surviving: Vec<&OracleRow> =
+            rows.iter().filter(|r| preds.iter().all(|p| matches(r, p))).collect();
+        let expect_count = surviving.len() as f64;
+        let expect_sum: f64 = surviving.iter().map(|r| r.m).sum();
+
+        if expect_count == 0.0 {
+            let count = out.rows.first().map(|r| r.aggs[1]).unwrap_or(0.0);
+            prop_assert_eq!(count, 0.0);
+        } else {
+            prop_assert_eq!(out.rows[0].aggs[1], expect_count);
+            prop_assert!((out.rows[0].aggs[0] - expect_sum).abs() < 1e-6,
+                "sum {} vs oracle {}", out.rows[0].aggs[0], expect_sum);
+        }
+    }
+
+    #[test]
+    fn group_by_matches_oracle(
+        rows in proptest::collection::vec(row_strategy(), 1..300),
+        pred in pred_strategy(),
+    ) {
+        let mut partition = partition_from(&rows, false);
+        let query = Query {
+            table: "t".into(),
+            aggs: vec![AggSpec::new(AggFunc::Min, "m"), AggSpec::new(AggFunc::Max, "m")],
+            predicates: vec![to_predicate(&pred)],
+            group_by: vec!["app".into()],
+            order_by: None,
+            limit: None,
+        };
+        let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
+
+        let mut oracle: HashMap<String, (f64, f64)> = HashMap::new();
+        for r in rows.iter().filter(|r| matches(r, &pred)) {
+            let e = oracle
+                .entry(format!("app{}", r.app))
+                .or_insert((f64::INFINITY, f64::NEG_INFINITY));
+            e.0 = e.0.min(r.m);
+            e.1 = e.1.max(r.m);
+        }
+        prop_assert_eq!(out.rows.len(), oracle.len());
+        for row in &out.rows {
+            let key = row.key[0].as_str().unwrap();
+            let (lo, hi) = oracle[key];
+            prop_assert!((row.aggs[0] - lo).abs() < 1e-9);
+            prop_assert!((row.aggs[1] - hi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn avg_consistent_with_sum_over_count(
+        rows in proptest::collection::vec(row_strategy(), 1..200),
+    ) {
+        let mut partition = partition_from(&rows, false);
+        let query = Query {
+            table: "t".into(),
+            aggs: vec![
+                AggSpec::new(AggFunc::Avg, "m"),
+                AggSpec::new(AggFunc::Sum, "m"),
+                AggSpec::count_star(),
+            ],
+            predicates: vec![],
+            group_by: vec![],
+            order_by: None,
+            limit: None,
+        };
+        let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
+        let (avg, sum, count) = (out.rows[0].aggs[0], out.rows[0].aggs[1], out.rows[0].aggs[2]);
+        prop_assert!((avg - sum / count).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_rows_round_trips_everything(
+        rows in proptest::collection::vec(row_strategy(), 0..200),
+        compress in any::<bool>(),
+    ) {
+        let partition = partition_from(&rows, compress);
+        let mut restored: Vec<(i64, String, f64)> = partition
+            .all_rows()
+            .into_iter()
+            .map(|r| {
+                (
+                    r.dims[0].as_int().unwrap(),
+                    r.dims[1].as_str().unwrap().to_string(),
+                    r.metrics[0],
+                )
+            })
+            .collect();
+        let mut original: Vec<(i64, String, f64)> =
+            rows.iter().map(|r| (r.ds, format!("app{}", r.app), r.m)).collect();
+        restored.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        original.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(restored, original);
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration: dynamic re-partitioning and shard migration under live
+//! traffic — the operations §IV-B and §IV-E describe — with exact-result
+//! verification throughout.
+
+use scalewall::cluster::deployment::{Deployment, DeploymentConfig, APP};
+use scalewall::cluster::driver::{run_query, QueryOptions};
+use scalewall::cluster::net::{NetModel, NetModelConfig};
+use scalewall::cubrick::catalog::RowMapping;
+use scalewall::cubrick::proxy::{CubrickProxy, ProxyConfig};
+use scalewall::cubrick::query::parse_query;
+use scalewall::cubrick::schema::SchemaBuilder;
+use scalewall::cubrick::sharding::ShardMapping;
+use scalewall::cubrick::value::{Row, Value};
+use scalewall::shard_manager::{MigrationCause, ShardId};
+use scalewall::sim::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
+
+fn schema() -> Arc<scalewall::cubrick::schema::Schema> {
+    Arc::new(
+        SchemaBuilder::new()
+            .int_dim("k", 0, 10_000, 250)
+            .metric("v")
+            .build()
+            .unwrap(),
+    )
+}
+
+fn build(seed: u64, partitions: u32, rows: i64) -> Deployment {
+    let mut dep = Deployment::new(DeploymentConfig {
+        regions: 3,
+        hosts_per_region: 24,
+        max_shards: 10_000,
+        seed,
+        ..Default::default()
+    });
+    dep.create_table(
+        "t",
+        schema(),
+        partitions,
+        RowMapping::Hash,
+        ShardMapping::Monotonic,
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let data: Vec<Row> = (0..rows)
+        .map(|k| Row::new(vec![Value::Int(k % 10_000)], vec![k as f64]))
+        .collect();
+    dep.ingest("t", &data).unwrap();
+    dep
+}
+
+fn count_star(
+    dep: &mut Deployment,
+    proxy: &mut CubrickProxy,
+    net: &NetModel,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> Option<f64> {
+    let q = parse_query("select count(*) from t").unwrap();
+    let outcome = run_query(dep, proxy, net, &q, &QueryOptions::default(), now, rng);
+    outcome.output.and_then(|o| o.scalar())
+}
+
+#[test]
+fn repartition_preserves_results_and_updates_proxy_cache() {
+    let mut dep = build(11, 8, 4_000);
+    let mut proxy = CubrickProxy::new(ProxyConfig::default());
+    let net = NetModel::new(NetModelConfig {
+        server_failure_probability: 0.0,
+        ..Default::default()
+    });
+    let mut rng = SimRng::new(11);
+    let mut now = SimTime::from_secs(3_600);
+
+    assert_eq!(
+        count_star(&mut dep, &mut proxy, &net, now, &mut rng),
+        Some(4_000.0)
+    );
+    assert_eq!(proxy.cached_partitions("t"), Some(8));
+
+    // Grow 8 → 16 partitions.
+    let shuffled = dep.repartition("t", 16, now).unwrap();
+    assert_eq!(shuffled, 4_000);
+    now += SimDuration::from_mins(5); // let discovery propagate new shards
+
+    assert_eq!(
+        count_star(&mut dep, &mut proxy, &net, now, &mut rng),
+        Some(4_000.0)
+    );
+    // Result metadata refreshed the cache to the new count (§IV-C).
+    assert_eq!(proxy.cached_partitions("t"), Some(16));
+
+    // Shrink back down.
+    dep.repartition("t", 8, now).unwrap();
+    now += SimDuration::from_mins(5);
+    assert_eq!(
+        count_star(&mut dep, &mut proxy, &net, now, &mut rng),
+        Some(4_000.0)
+    );
+    assert_eq!(proxy.cached_partitions("t"), Some(8));
+}
+
+#[test]
+fn graceful_migration_under_traffic_never_disrupts() {
+    let mut dep = build(12, 4, 2_000);
+    // No retries: any disruption would be visible as a failure.
+    let mut proxy = CubrickProxy::new(ProxyConfig {
+        max_retries: 0,
+        ..Default::default()
+    });
+    let net = NetModel::new(NetModelConfig {
+        server_failure_probability: 0.0,
+        ..Default::default()
+    });
+    let mut rng = SimRng::new(12);
+    let mut now = SimTime::from_secs(3_600);
+
+    let shard = dep.catalog.read().shards_of_table("t").unwrap()[0];
+    let from = dep.regions[0].authoritative_host(shard).unwrap();
+    let to = dep.regions[0]
+        .nodes
+        .hosts()
+        .find(|&h| h != from && dep.regions[0].sm.shards_on(APP, h).is_empty())
+        .unwrap();
+    {
+        let region = &mut dep.regions[0];
+        region
+            .sm
+            .begin_migration(
+                APP,
+                ShardId(shard),
+                to,
+                true,
+                MigrationCause::Manual,
+                now,
+                &mut region.nodes,
+            )
+            .unwrap();
+    }
+    for step in 0..600u64 {
+        dep.tick(now);
+        let result = count_star(&mut dep, &mut proxy, &net, now, &mut rng);
+        assert_eq!(result, Some(2_000.0), "step {step}");
+        now += SimDuration::from_millis(200);
+    }
+    // The migration completed along the way.
+    assert_eq!(dep.regions[0].authoritative_host(shard), Some(to));
+    assert!(dep.regions[0]
+        .sm
+        .active_migration(APP, ShardId(shard))
+        .is_none());
+}
+
+#[test]
+fn plain_migration_has_visible_error_window_masked_by_proxy_retries() {
+    // Same scenario, plain migration. Without retries some queries fail;
+    // with retries (the production configuration) none do.
+    for (retries, expect_failures) in [(0u32, true), (2u32, false)] {
+        let mut dep = build(13, 4, 1_000);
+        let mut proxy = CubrickProxy::new(ProxyConfig {
+            max_retries: retries,
+            ..Default::default()
+        });
+        let net = NetModel::new(NetModelConfig {
+            server_failure_probability: 0.0,
+            ..Default::default()
+        });
+        let mut rng = SimRng::new(13);
+        let mut now = SimTime::from_secs(3_600);
+
+        let shard = dep.catalog.read().shards_of_table("t").unwrap()[0];
+        let from = dep.regions[0].authoritative_host(shard).unwrap();
+        let to = dep.regions[0]
+            .nodes
+            .hosts()
+            .find(|&h| h != from && dep.regions[0].sm.shards_on(APP, h).is_empty())
+            .unwrap();
+        {
+            let region = &mut dep.regions[0];
+            region
+                .sm
+                .begin_migration(
+                    APP,
+                    ShardId(shard),
+                    to,
+                    false, // plain
+                    MigrationCause::Manual,
+                    now,
+                    &mut region.nodes,
+                )
+                .unwrap();
+        }
+        let mut failures = 0u64;
+        for _ in 0..600u64 {
+            dep.tick(now);
+            if count_star(&mut dep, &mut proxy, &net, now, &mut rng).is_none() {
+                failures += 1;
+            }
+            now += SimDuration::from_millis(100);
+        }
+        if expect_failures {
+            assert!(failures > 0, "plain migration without retries must disrupt");
+        } else {
+            assert_eq!(failures, 0, "proxy retries mask the window");
+        }
+    }
+}
+
+#[test]
+fn migration_collision_veto_respected_end_to_end() {
+    let mut dep = build(14, 4, 100);
+    let shards = dep.catalog.read().shards_of_table("t").unwrap();
+    let region = &mut dep.regions[0];
+    let from = region.sm.host_of(APP, ShardId(shards[0])).unwrap();
+    // Target: a host that owns a *different* shard of the same table.
+    let target = region
+        .sm
+        .host_of(APP, ShardId(shards[1]))
+        .filter(|&h| h != from)
+        .expect("different owner");
+    let now = SimTime::from_secs(100);
+    let err = region
+        .sm
+        .begin_migration(
+            APP,
+            ShardId(shards[0]),
+            target,
+            true,
+            MigrationCause::Manual,
+            now,
+            &mut region.nodes,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            scalewall::shard_manager::SmError::AllTargetsVetoed { .. }
+        ),
+        "{err:?}"
+    );
+}
