@@ -1,16 +1,18 @@
-//! Criterion micro-benchmarks of the Cubrick engine hot paths: ingest,
-//! pruned scans, group-by aggregation, and the column codecs behind
-//! adaptive compression.
+//! Micro-benchmarks of the Cubrick engine hot paths: ingest, pruned
+//! scans, group-by aggregation, and the column codecs behind adaptive
+//! compression. Runs on the in-repo wall-clock runner
+//! (`scalewall_bench::microbench`): `cargo bench -p scalewall-bench`
+//! times; `cargo test` smoke-runs every body once.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use cubrick::compression::CompressedBrick;
 use cubrick::encoding;
 use cubrick::query::{execute_partition, parse_query};
 use cubrick::schema::SchemaBuilder;
 use cubrick::store::PartitionData;
 use cubrick::value::{Row, Value};
+use scalewall_bench::microbench::Bench;
 use scalewall_sim::SimRng;
 
 fn schema() -> Arc<cubrick::schema::Schema> {
@@ -48,10 +50,10 @@ fn loaded_partition(rows: &[Row]) -> PartitionData {
     p
 }
 
-fn bench_ingest(c: &mut Criterion) {
+fn bench_ingest(c: &mut Bench) {
     let rows = sample_rows(10_000);
-    let mut group = c.benchmark_group("ingest");
-    group.throughput(Throughput::Elements(rows.len() as u64));
+    let mut group = c.group("ingest");
+    group.throughput(rows.len() as u64);
     group.sample_size(20);
     group.bench_function("rows_10k", |b| {
         b.iter_batched(
@@ -62,24 +64,22 @@ fn bench_ingest(c: &mut Criterion) {
                 }
                 p
             },
-            BatchSize::LargeInput,
         )
     });
     group.finish();
 }
 
-fn bench_scan(c: &mut Criterion) {
+fn bench_scan(c: &mut Bench) {
     let rows = sample_rows(50_000);
-    let mut group = c.benchmark_group("scan");
+    let mut group = c.group("scan");
     group.sample_size(20);
-    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.throughput(rows.len() as u64);
 
     let full = parse_query("select sum(clicks), count(*) from t").unwrap();
     group.bench_function("full_scan_50k", |b| {
         b.iter_batched(
             || loaded_partition(&rows),
             |mut p| execute_partition(&mut p, &full, 8).unwrap(),
-            BatchSize::LargeInput,
         )
     });
 
@@ -89,7 +89,6 @@ fn bench_scan(c: &mut Criterion) {
         b.iter_batched(
             || loaded_partition(&rows),
             |mut p| execute_partition(&mut p, &pruned, 8).unwrap(),
-            BatchSize::LargeInput,
         )
     });
 
@@ -98,21 +97,20 @@ fn bench_scan(c: &mut Criterion) {
         b.iter_batched(
             || loaded_partition(&rows),
             |mut p| execute_partition(&mut p, &grouped, 8).unwrap(),
-            BatchSize::LargeInput,
         )
     });
     group.finish();
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn bench_codecs(c: &mut Bench) {
     let mut rng = SimRng::new(3);
     let small_domain: Vec<u32> = (0..65_536).map(|_| rng.below(16) as u32).collect();
     let monotonic: Vec<u32> = (0..65_536).collect();
     let metrics: Vec<f64> = (0..65_536).map(|i| (i / 7) as f64).collect();
 
-    let mut group = c.benchmark_group("codecs");
+    let mut group = c.group("codecs");
     group.sample_size(20);
-    group.throughput(Throughput::Elements(65_536));
+    group.throughput(65_536);
     group.bench_function("u32_auto_small_domain", |b| {
         b.iter(|| encoding::encode_u32_auto(&small_domain))
     });
@@ -131,12 +129,12 @@ fn bench_codecs(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_brick_compression(c: &mut Criterion) {
+fn bench_brick_compression(c: &mut Bench) {
     let rows = sample_rows(20_000);
     let partition = loaded_partition(&rows);
     // Extract one representative brick through a clone of the partition's
     // data by compressing everything and measuring one round trip.
-    let mut group = c.benchmark_group("brick_compression");
+    let mut group = c.group("brick_compression");
     group.sample_size(10);
     group.bench_function("partition_20k_compress_all", |b| {
         b.iter_batched(
@@ -148,7 +146,6 @@ fn bench_brick_compression(c: &mut Criterion) {
                 };
                 p.run_memory_monitor(&config)
             },
-            BatchSize::LargeInput,
         )
     });
     group.finish();
@@ -158,9 +155,9 @@ fn bench_brick_compression(c: &mut Criterion) {
     for _ in 0..8_192 {
         brick.push(&[rng.below(24) as u32, rng.below(20) as u32], &[1.0, 2.0]);
     }
-    let mut group = c.benchmark_group("brick_roundtrip");
+    let mut group = c.group("brick_roundtrip");
     group.sample_size(20);
-    group.throughput(Throughput::Elements(8_192));
+    group.throughput(8_192);
     group.bench_function("compress_8k_rows", |b| {
         b.iter(|| CompressedBrick::compress(brick.clone()))
     });
@@ -169,11 +166,10 @@ fn bench_brick_compression(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ingest,
-    bench_scan,
-    bench_codecs,
-    bench_brick_compression
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_ingest(&mut bench);
+    bench_scan(&mut bench);
+    bench_codecs(&mut bench);
+    bench_brick_compression(&mut bench);
+}

@@ -1,22 +1,24 @@
-//! Criterion micro-benchmarks of the infrastructure hot paths: shard
-//! mapping, SM placement/balancing, discovery resolution, the event
-//! queue, and latency histograms.
+//! Micro-benchmarks of the infrastructure hot paths: shard mapping, SM
+//! placement/balancing, discovery resolution, the event queue, and
+//! latency histograms. Runs on the in-repo wall-clock runner
+//! (`scalewall_bench::microbench`): `cargo bench -p scalewall-bench`
+//! times; `cargo test` smoke-runs every body once.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cubrick::sharding::ShardMapping;
-use parking_lot::RwLock;
+use scalewall_bench::microbench::Bench;
 use scalewall_discovery::{DelayModel, DelayModelConfig, DiscoveryClient, MappingStore, ShardKey};
 use scalewall_shard_manager::balancer::propose_rebalance;
 use scalewall_shard_manager::placement::{rank_candidates, HostSnapshot};
 use scalewall_shard_manager::{
     BalancerConfig, HostId, HostInfo, HostState, Rack, Region, ShardId, SpreadDomain,
 };
+use scalewall_sim::sync::RwLock;
 use scalewall_sim::{EventQueue, Histogram, SimRng, SimTime};
 use std::sync::Arc;
 
-fn bench_shard_mapping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("shard_mapping");
-    group.throughput(Throughput::Elements(1));
+fn bench_shard_mapping(c: &mut Bench) {
+    let mut group = c.group("shard_mapping");
+    group.throughput(1);
     group.bench_function("monotonic_shard_of", |b| {
         let mut p = 0u32;
         b.iter(|| {
@@ -45,9 +47,9 @@ fn snapshots(n: u64) -> Vec<HostSnapshot> {
         .collect()
 }
 
-fn bench_placement(c: &mut Criterion) {
+fn bench_placement(c: &mut Bench) {
     let hosts = snapshots(1_000);
-    let mut group = c.benchmark_group("placement");
+    let mut group = c.group("placement");
     group.sample_size(20);
     group.bench_function("rank_1k_hosts", |b| {
         b.iter(|| rank_candidates(&hosts, 10.0, 0.9, SpreadDomain::Host, &[], &[]))
@@ -55,14 +57,14 @@ fn bench_placement(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_balancer(c: &mut Criterion) {
+fn bench_balancer(c: &mut Bench) {
     let hosts = snapshots(200);
     let mut rng = SimRng::new(6);
     let locations: Vec<(ShardId, HostId, f64)> = (0..5_000)
         .map(|i| (ShardId(i), HostId(rng.below(200)), 1.0 + rng.unit() * 20.0))
         .collect();
     let config = BalancerConfig::default();
-    let mut group = c.benchmark_group("balancer");
+    let mut group = c.group("balancer");
     group.sample_size(10);
     group.bench_function("propose_200_hosts_5k_shards", |b| {
         b.iter(|| propose_rebalance(&hosts, &locations, &config))
@@ -70,7 +72,7 @@ fn bench_balancer(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_discovery(c: &mut Criterion) {
+fn bench_discovery(c: &mut Bench) {
     let store = Arc::new(RwLock::new(MappingStore::new()));
     for s in 0..10_000u64 {
         store
@@ -79,8 +81,8 @@ fn bench_discovery(c: &mut Criterion) {
     }
     let client = DiscoveryClient::new(store, DelayModel::new(DelayModelConfig::default()), 42);
     let now = SimTime::from_secs(3_600);
-    let mut group = c.benchmark_group("discovery");
-    group.throughput(Throughput::Elements(1));
+    let mut group = c.group("discovery");
+    group.throughput(1);
     group.bench_function("resolve", |b| {
         let mut s = 0u64;
         b.iter(|| {
@@ -91,10 +93,10 @@ fn bench_discovery(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
+fn bench_event_queue(c: &mut Bench) {
+    let mut group = c.group("event_queue");
     group.sample_size(20);
-    group.throughput(Throughput::Elements(10_000));
+    group.throughput(10_000);
     group.bench_function("schedule_pop_10k", |b| {
         b.iter(|| {
             let mut q: EventQueue<u64> = EventQueue::new();
@@ -112,9 +114,9 @@ fn bench_event_queue(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("histogram");
-    group.throughput(Throughput::Elements(1));
+fn bench_histogram(c: &mut Bench) {
+    let mut group = c.group("histogram");
+    group.throughput(1);
     group.bench_function("record", |b| {
         let mut h = Histogram::latency_ms();
         let mut rng = SimRng::new(9);
@@ -129,13 +131,12 @@ fn bench_histogram(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_shard_mapping,
-    bench_placement,
-    bench_balancer,
-    bench_discovery,
-    bench_event_queue,
-    bench_histogram
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_shard_mapping(&mut bench);
+    bench_placement(&mut bench);
+    bench_balancer(&mut bench);
+    bench_discovery(&mut bench);
+    bench_event_queue(&mut bench);
+    bench_histogram(&mut bench);
+}

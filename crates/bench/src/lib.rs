@@ -13,10 +13,13 @@
 //! the test suite runs). Full scale reproduces the shapes reported in
 //! EXPERIMENTS.md.
 //!
-//! Criterion micro-benchmarks of the engine hot paths live in
-//! `benches/`.
+//! Wall-clock micro-benchmarks of the engine hot paths live in
+//! `benches/`, on the in-repo [`microbench`] runner (`cargo bench -p
+//! scalewall-bench`; under `cargo test` each bench body runs once as a
+//! smoke test).
 
 pub mod figures;
+pub mod microbench;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

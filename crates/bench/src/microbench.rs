@@ -1,0 +1,279 @@
+//! Minimal wall-clock micro-benchmark runner.
+//!
+//! An in-repo replacement for the `criterion` dependency (the workspace is
+//! hermetic; see DESIGN.md), keeping the same call-site shape the benches
+//! already used: groups, per-function benchmarks, element throughput, and
+//! batched iteration with untimed setup.
+//!
+//! Behaviour follows cargo's convention for `harness = false` targets:
+//! `cargo bench` passes `--bench` to the binary, which selects full timing
+//! mode; any other invocation (notably `cargo test`, which runs bench
+//! targets as smoke tests) executes every benchmark body exactly once so a
+//! broken bench fails the suite without burning minutes of wall clock.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Warm-up budget per benchmark before samples are taken.
+const WARMUP: Duration = Duration::from_millis(100);
+
+/// Top-level runner; one per bench binary.
+pub struct Bench {
+    timing: bool,
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Build from process args: `--bench` selects timing mode; the first
+    /// free argument filters benchmarks by substring.
+    pub fn from_args() -> Bench {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let timing = args.iter().any(|a| a == "--bench");
+        let filter = args
+            .into_iter()
+            .find(|a| !a.starts_with("--") && a != "--bench");
+        Bench { timing, filter }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_string(),
+            sample_size: 20,
+            elements: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct Group<'a> {
+    bench: &'a Bench,
+    name: String,
+    sample_size: u32,
+    elements: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Report throughput as `elements` items per iteration.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark. The closure receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`] exactly once.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.bench.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if !self.bench.timing {
+            // Smoke mode (`cargo test`): execute the body once, no timing.
+            let mut b = Bencher {
+                mode: Mode::Smoke,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            return self;
+        }
+
+        // Warm up and calibrate iterations per sample.
+        let mut b = Bencher {
+            mode: Mode::Calibrate { budget: WARMUP },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let per_iter = match b.mode {
+            Mode::Calibrate { .. } => unreachable!("bencher closure never called iter()"),
+            Mode::Calibrated { per_iter } => per_iter,
+            _ => unreachable!(),
+        };
+        let iters_per_sample = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u32::MAX as u128) as u64;
+
+        let mut b = Bencher {
+            mode: Mode::Timed {
+                samples_left: self.sample_size,
+                iters_per_sample,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+
+        let mut per_iter_ns: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|&(elapsed, iters)| elapsed.as_nanos() as f64 / iters as f64)
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let mut line = format!(
+            "{full:<40} median {:>12}  min {:>12}",
+            format_ns(median),
+            format_ns(min)
+        );
+        if let Some(elements) = self.elements {
+            let rate = elements as f64 / (median * 1e-9);
+            line.push_str(&format!("  {:>14}", format_rate(rate)));
+        }
+        line.push_str(&format!(
+            "  ({} samples x {} iters)",
+            per_iter_ns.len(),
+            iters_per_sample
+        ));
+        println!("{line}");
+        self
+    }
+
+    /// End the group (kept for call-site symmetry; no-op).
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    /// Run the body once, untimed.
+    Smoke,
+    /// Run until `budget` elapses, estimating time per iteration.
+    Calibrate { budget: Duration },
+    /// Result of calibration.
+    Calibrated { per_iter: Duration },
+    /// Collect `samples_left` samples of `iters_per_sample` iterations.
+    Timed {
+        samples_left: u32,
+        iters_per_sample: u64,
+    },
+}
+
+/// Drives iterations of one benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` back-to-back.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.iter_batched(|| (), |()| routine());
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Calibrate { budget } => {
+                let started = Instant::now();
+                let mut timed = Duration::ZERO;
+                let mut iters = 0u64;
+                while started.elapsed() < budget || iters == 0 {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    timed += t0.elapsed();
+                    iters += 1;
+                }
+                self.mode = Mode::Calibrated {
+                    per_iter: timed / iters.clamp(1, u32::MAX as u64) as u32,
+                };
+            }
+            Mode::Calibrated { .. } => unreachable!(),
+            Mode::Timed {
+                samples_left,
+                iters_per_sample,
+            } => {
+                for _ in 0..samples_left {
+                    let mut timed = Duration::ZERO;
+                    for _ in 0..iters_per_sample {
+                        let input = setup();
+                        let t0 = Instant::now();
+                        black_box(routine(input));
+                        timed += t0.elapsed();
+                    }
+                    self.samples.push((timed, iters_per_sample));
+                }
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} Gelem/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} Melem/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} Kelem/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} elem/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut bench = Bench {
+            timing: false,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        let mut group = bench.group("g");
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.finish();
+        drop(group);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut bench = Bench {
+            timing: false,
+            filter: Some("other".into()),
+        };
+        let mut calls = 0u32;
+        bench.group("g").bench_function("f", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut bench = Bench {
+            timing: true,
+            filter: None,
+        };
+        let mut group = bench.group("g");
+        group.sample_size(3).throughput(1);
+        group.bench_function("spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -16,7 +16,7 @@ use cubrick::schema::Schema;
 use cubrick::sharding::ShardMapping;
 use cubrick::store::PartitionData;
 use cubrick::value::Row;
-use parking_lot::RwLock;
+use scalewall_sim::sync::RwLock;
 use scalewall_discovery::{DelayModel, DelayModelConfig, DiscoveryClient};
 use scalewall_shard_manager::{
     AppSpec, BalancerConfig, HostId, HostInfo, Rack, Region, ShardId, SmConfig, SmServer,

@@ -93,7 +93,7 @@ mod tests {
     use super::*;
     use cubrick::catalog::shared_catalog;
     use cubrick::node::{NodeConfig, RegionStore};
-    use parking_lot::RwLock;
+    use scalewall_sim::sync::RwLock;
     use scalewall_shard_manager::Region;
     use std::sync::Arc;
 

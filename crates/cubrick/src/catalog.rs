@@ -10,7 +10,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use scalewall_sim::sync::RwLock;
 
 use crate::error::{CubrickError, CubrickResult};
 use crate::schema::Schema;

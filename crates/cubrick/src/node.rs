@@ -24,7 +24,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use scalewall_sim::sync::RwLock;
 use scalewall_shard_manager::{
     AddShardReason, AppError, AppServer, HostId, Region, ShardContext, ShardId,
 };

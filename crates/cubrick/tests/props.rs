@@ -7,231 +7,292 @@ use cubrick::encoding;
 use cubrick::partition::BrickSpace;
 use cubrick::schema::{Schema, SchemaBuilder};
 use cubrick::sharding::{parse_partition_name, partition_name, ShardMapping};
-use proptest::prelude::*;
+use scalewall_sim::prop::{self, gen};
+use scalewall_sim::SimRng;
 
 // ----------------------------------------------------------------- codecs
 
-proptest! {
-    /// Every integer codec round-trips arbitrary columns exactly.
-    #[test]
-    fn u32_codecs_round_trip(values in proptest::collection::vec(any::<u32>(), 0..2_000)) {
-        let auto = encoding::encode_u32_auto(&values);
-        prop_assert_eq!(encoding::decode_u32(&auto), values.clone());
-        for payload in [
-            (encoding::IntCodec::Rle, cubrick::encoding::rle::encode(&values)),
-            (encoding::IntCodec::BitPack, cubrick::encoding::bitpack::encode(&values)),
-            (encoding::IntCodec::Delta, cubrick::encoding::delta::encode(&values)),
-        ] {
-            let encoded = encoding::EncodedU32 { codec: payload.0, payload: payload.1, rows: values.len() };
-            prop_assert_eq!(encoding::decode_u32(&encoded), values.clone(), "{:?}", payload.0);
-        }
-    }
+/// Every integer codec round-trips arbitrary columns exactly.
+#[test]
+fn u32_codecs_round_trip() {
+    prop::check(
+        "u32_codecs_round_trip",
+        |rng| gen::vec_with(rng, 0, 2_000, gen::any_u32),
+        |values| {
+            let auto = encoding::encode_u32_auto(values);
+            assert_eq!(encoding::decode_u32(&auto), values.clone());
+            for payload in [
+                (encoding::IntCodec::Rle, cubrick::encoding::rle::encode(values)),
+                (encoding::IntCodec::BitPack, cubrick::encoding::bitpack::encode(values)),
+                (encoding::IntCodec::Delta, cubrick::encoding::delta::encode(values)),
+            ] {
+                let encoded = encoding::EncodedU32 {
+                    codec: payload.0,
+                    payload: payload.1,
+                    rows: values.len(),
+                };
+                assert_eq!(encoding::decode_u32(&encoded), values.clone(), "{:?}", payload.0);
+            }
+        },
+    );
+}
 
-    /// Auto-selection never does worse than any individual codec.
-    #[test]
-    fn auto_codec_is_minimal(values in proptest::collection::vec(0u32..1_000, 1..1_000)) {
-        let auto = encoding::encode_u32_auto(&values);
-        let rle = cubrick::encoding::rle::encode(&values);
-        let bp = cubrick::encoding::bitpack::encode(&values);
-        let delta = cubrick::encoding::delta::encode(&values);
-        let min = rle.len().min(bp.len()).min(delta.len());
-        prop_assert_eq!(auto.payload.len(), min);
-    }
+/// Auto-selection never does worse than any individual codec.
+#[test]
+fn auto_codec_is_minimal() {
+    prop::check(
+        "auto_codec_is_minimal",
+        |rng| gen::vec_with(rng, 1, 1_000, |r| r.below(1_000) as u32),
+        |values| {
+            let auto = encoding::encode_u32_auto(values);
+            let rle = cubrick::encoding::rle::encode(values);
+            let bp = cubrick::encoding::bitpack::encode(values);
+            let delta = cubrick::encoding::delta::encode(values);
+            let min = rle.len().min(bp.len()).min(delta.len());
+            assert_eq!(auto.payload.len(), min);
+        },
+    );
+}
 
-    /// Float XOR codec preserves bit patterns exactly (incl. -0.0, NaN).
-    #[test]
-    fn f64_codec_round_trips(bits in proptest::collection::vec(any::<u64>(), 0..1_000)) {
-        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
-        let decoded = encoding::decode_f64(&encoding::encode_f64(&values));
-        prop_assert_eq!(decoded.len(), values.len());
-        for (a, b) in values.iter().zip(&decoded) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
-        }
-    }
+/// Float XOR codec preserves bit patterns exactly (incl. -0.0, NaN).
+#[test]
+fn f64_codec_round_trips() {
+    prop::check(
+        "f64_codec_round_trips",
+        |rng| gen::vec_with(rng, 0, 1_000, gen::any_u64),
+        |bits| {
+            let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+            let decoded = encoding::decode_f64(&encoding::encode_f64(&values));
+            assert_eq!(decoded.len(), values.len());
+            for (a, b) in values.iter().zip(&decoded) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        },
+    );
+}
 
-    /// Varints round-trip and zig-zag is a bijection.
-    #[test]
-    fn varint_round_trip(values in proptest::collection::vec(any::<u64>(), 0..500)) {
-        let mut buf = Vec::new();
-        for &v in &values {
-            cubrick::encoding::varint::write_u64(&mut buf, v);
-        }
-        let mut pos = 0;
-        for &v in &values {
-            prop_assert_eq!(cubrick::encoding::varint::read_u64(&buf, &mut pos), Some(v));
-        }
-        prop_assert_eq!(pos, buf.len());
-    }
+/// Varints round-trip and zig-zag is a bijection.
+#[test]
+fn varint_round_trip() {
+    prop::check(
+        "varint_round_trip",
+        |rng| gen::vec_with(rng, 0, 500, gen::any_u64),
+        |values| {
+            let mut buf = Vec::new();
+            for &v in values {
+                cubrick::encoding::varint::write_u64(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in values {
+                assert_eq!(cubrick::encoding::varint::read_u64(&buf, &mut pos), Some(v));
+            }
+            assert_eq!(pos, buf.len());
+        },
+    );
+}
 
-    #[test]
-    fn zigzag_bijective(v in any::<i64>()) {
-        prop_assert_eq!(
+#[test]
+fn zigzag_bijective() {
+    prop::check("zigzag_bijective", gen::any_i64, |&v| {
+        assert_eq!(
             cubrick::encoding::varint::unzigzag(cubrick::encoding::varint::zigzag(v)),
             v
         );
-    }
+    });
 }
 
 // ----------------------------------------------------- brick compression
 
-fn brick_strategy() -> impl Strategy<Value = Brick> {
-    (1usize..4, 0usize..3, 0usize..500).prop_flat_map(|(dims, metrics, rows)| {
-        (
-            proptest::collection::vec(
-                proptest::collection::vec(any::<u32>(), rows..=rows),
-                dims..=dims,
-            ),
-            proptest::collection::vec(
-                proptest::collection::vec(-1e6f64..1e6, rows..=rows),
-                metrics..=metrics,
-            ),
-        )
-            .prop_map(move |(dcols, mcols)| {
-                let mut b = Brick::new(dcols.len(), mcols.len());
-                for r in 0..rows {
-                    let ords: Vec<u32> = dcols.iter().map(|c| c[r]).collect();
-                    let ms: Vec<f64> = mcols.iter().map(|c| c[r]).collect();
-                    b.push(&ords, &ms);
-                }
-                b
-            })
-    })
+fn gen_brick(rng: &mut SimRng) -> Brick {
+    let dims = gen::usize_in(rng, 1, 4);
+    let metrics = gen::usize_in(rng, 0, 3);
+    let rows = gen::usize_in(rng, 0, 500);
+    let mut b = Brick::new(dims, metrics);
+    for _ in 0..rows {
+        let ords: Vec<u32> = (0..dims).map(|_| gen::any_u32(rng)).collect();
+        let ms: Vec<f64> = (0..metrics).map(|_| gen::f64_in(rng, -1e6, 1e6)).collect();
+        b.push(&ords, &ms);
+    }
+    b
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn brick_compression_round_trips(brick in brick_strategy()) {
+#[test]
+fn brick_compression_round_trips() {
+    prop::check_n("brick_compression_round_trips", 64, gen_brick, |brick| {
         let original = brick.clone();
-        let compressed = CompressedBrick::compress(brick);
-        prop_assert_eq!(compressed.rows(), original.rows());
-        prop_assert_eq!(compressed.decompressed_bytes(), original.payload_bytes());
-        prop_assert_eq!(compressed.decompress(), original);
-    }
+        let compressed = CompressedBrick::compress(brick.clone());
+        assert_eq!(compressed.rows(), original.rows());
+        assert_eq!(compressed.decompressed_bytes(), original.payload_bytes());
+        assert_eq!(compressed.decompress(), original);
+    });
 }
 
 // ----------------------------------------------------- granular partitioning
 
-fn schema_strategy() -> impl Strategy<Value = Schema> {
-    proptest::collection::vec((1i64..200, 1u32..40), 1..4).prop_map(|dims| {
-        let mut b = SchemaBuilder::new();
-        for (i, (card, range)) in dims.iter().enumerate() {
-            b = b.int_dim(&format!("d{i}"), 0, *card, *range);
-        }
-        b.metric("m").build().expect("generated schema is valid")
-    })
+fn gen_schema(rng: &mut SimRng) -> Schema {
+    let dims = gen::vec_with(rng, 1, 4, |r| (r.range(1, 200) as i64, r.range(1, 40) as u32));
+    let mut b = SchemaBuilder::new();
+    for (i, (card, range)) in dims.iter().enumerate() {
+        b = b.int_dim(&format!("d{i}"), 0, *card, *range);
+    }
+    b.metric("m").build().expect("generated schema is valid")
 }
 
-proptest! {
-    /// brick_id ∘ coords is the identity on every valid ordinal vector,
-    /// and brick ids never exceed the brick space.
-    #[test]
-    fn brick_id_bijection(schema in schema_strategy(), seed in any::<u64>()) {
-        let space = BrickSpace::from_schema(&schema);
-        let mut state = seed;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            state
-        };
-        for _ in 0..50 {
+/// brick_id ∘ coords is the identity on every valid ordinal vector,
+/// and brick ids never exceed the brick space.
+#[test]
+fn brick_id_bijection() {
+    prop::check(
+        "brick_id_bijection",
+        |rng| (gen_schema(rng), gen::any_u64(rng)),
+        |(schema, seed)| {
+            let space = BrickSpace::from_schema(schema);
+            let mut state = *seed;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state
+            };
+            for _ in 0..50 {
+                let ordinals: Vec<u32> = schema
+                    .dimensions
+                    .iter()
+                    .map(|d| (next() % d.cardinality().max(1)) as u32)
+                    .collect();
+                let id = space.brick_id(&ordinals);
+                assert!(id < space.brick_count());
+                let coords = space.coords(id);
+                for (dim, (&ord, &coord)) in ordinals.iter().zip(&coords).enumerate() {
+                    assert_eq!(space.coord_of(dim, ord), coord);
+                    let (lo, hi) = space.bucket_ordinal_range(dim, coord);
+                    assert!(ord >= lo && ord <= hi);
+                }
+            }
+        },
+    );
+}
+
+/// Pruning is conservative: a brick matching a point constraint always
+/// contains the bucket for that point.
+#[test]
+fn pruning_never_drops_matching_bricks() {
+    prop::check(
+        "pruning_never_drops_matching_bricks",
+        |rng| (gen_schema(rng), gen::any_u64(rng)),
+        |(schema, seed)| {
+            let space = BrickSpace::from_schema(schema);
+            let mut state = *seed | 1;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state
+            };
             let ordinals: Vec<u32> = schema
                 .dimensions
                 .iter()
                 .map(|d| (next() % d.cardinality().max(1)) as u32)
                 .collect();
             let id = space.brick_id(&ordinals);
-            prop_assert!(id < space.brick_count());
-            let coords = space.coords(id);
-            for (dim, (&ord, &coord)) in ordinals.iter().zip(&coords).enumerate() {
-                prop_assert_eq!(space.coord_of(dim, ord), coord);
-                let (lo, hi) = space.bucket_ordinal_range(dim, coord);
-                prop_assert!(ord >= lo && ord <= hi);
-            }
-        }
-    }
-
-    /// Pruning is conservative: a brick matching a point constraint always
-    /// contains the bucket for that point.
-    #[test]
-    fn pruning_never_drops_matching_bricks(
-        schema in schema_strategy(),
-        seed in any::<u64>(),
-    ) {
-        let space = BrickSpace::from_schema(&schema);
-        let mut state = seed | 1;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            state
-        };
-        let ordinals: Vec<u32> = schema
-            .dimensions
-            .iter()
-            .map(|d| (next() % d.cardinality().max(1)) as u32)
-            .collect();
-        let id = space.brick_id(&ordinals);
-        let constraints: Vec<Option<Vec<(u32, u32)>>> =
-            ordinals.iter().map(|&o| Some(vec![(o, o)])).collect();
-        prop_assert!(space.brick_matches(id, &constraints));
-    }
+            let constraints: Vec<Option<Vec<(u32, u32)>>> =
+                ordinals.iter().map(|&o| Some(vec![(o, o)])).collect();
+            assert!(space.brick_matches(id, &constraints));
+        },
+    );
 }
 
 // ---------------------------------------------------------------- sharding
 
-proptest! {
-    /// The monotonic mapping never self-collides while partitions ≤ shards.
-    #[test]
-    fn monotonic_mapping_injective_within_table(
-        table in "[a-z][a-z0-9_]{0,20}",
-        partitions in 1u32..200,
-        max_shards in 200u64..100_000,
-    ) {
-        let mut shards = ShardMapping::Monotonic.shards_of_table(&table, partitions, max_shards);
-        shards.sort_unstable();
-        shards.dedup();
-        prop_assert_eq!(shards.len(), partitions as usize);
-    }
+const IDENT_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+const DOTTED_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+const DOTTED_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.";
 
-    /// Partition names round-trip for any table name without '#'.
-    #[test]
-    fn partition_names_round_trip(
-        table in "[a-zA-Z_][a-zA-Z0-9_.]{0,30}",
-        partition in any::<u32>(),
-    ) {
-        let name = partition_name(&table, partition);
-        prop_assert_eq!(parse_partition_name(&name), Some((table.as_str(), partition)));
-    }
+/// The monotonic mapping never self-collides while partitions ≤ shards.
+#[test]
+fn monotonic_mapping_injective_within_table() {
+    prop::check(
+        "monotonic_mapping_injective_within_table",
+        |rng| {
+            (
+                gen::ident(rng, gen::LOWER, IDENT_REST, 0, 21),
+                rng.range(1, 200) as u32,
+                rng.range(200, 100_000),
+            )
+        },
+        |(table, partitions, max_shards)| {
+            let mut shards =
+                ShardMapping::Monotonic.shards_of_table(table, *partitions, *max_shards);
+            shards.sort_unstable();
+            shards.dedup();
+            assert_eq!(shards.len(), *partitions as usize);
+        },
+    );
+}
 
-    /// Shard ids always live in the key space.
-    #[test]
-    fn shards_in_key_space(
-        table in "[a-z]{1,10}",
-        partition in any::<u32>(),
-        max_shards in 1u64..1_000_000,
-    ) {
-        for mapping in [ShardMapping::Naive, ShardMapping::Monotonic] {
-            prop_assert!(mapping.shard_of(&table, partition, max_shards) < max_shards);
-        }
-    }
+/// Partition names round-trip for any table name without '#'.
+#[test]
+fn partition_names_round_trip() {
+    prop::check(
+        "partition_names_round_trip",
+        |rng| {
+            (
+                gen::ident(rng, DOTTED_FIRST, DOTTED_REST, 0, 31),
+                gen::any_u32(rng),
+            )
+        },
+        |(table, partition)| {
+            let name = partition_name(table, *partition);
+            assert_eq!(parse_partition_name(&name), Some((table.as_str(), *partition)));
+        },
+    );
+}
+
+/// Shard ids always live in the key space.
+#[test]
+fn shards_in_key_space() {
+    prop::check(
+        "shards_in_key_space",
+        |rng| {
+            let len = gen::usize_in(rng, 1, 11);
+            (
+                gen::string_from(rng, gen::LOWER, len),
+                gen::any_u32(rng),
+                rng.range(1, 1_000_000),
+            )
+        },
+        |(table, partition, max_shards)| {
+            for mapping in [ShardMapping::Naive, ShardMapping::Monotonic] {
+                assert!(mapping.shard_of(table, *partition, *max_shards) < *max_shards);
+            }
+        },
+    );
 }
 
 // -------------------------------------------------------------- dictionary
 
-proptest! {
-    #[test]
-    fn dictionary_encode_decode_bijective(
-        words in proptest::collection::vec("[a-z]{1,8}", 0..200),
-    ) {
-        let mut dict = Dictionary::new(10_000);
-        let mut first_id: std::collections::HashMap<String, u32> = Default::default();
-        for w in &words {
-            let id = dict.encode("d", w).unwrap();
-            // Same string always gets the same id.
-            let prev = first_id.entry(w.clone()).or_insert(id);
-            prop_assert_eq!(*prev, id);
-            prop_assert_eq!(dict.decode(id), Some(w.as_str()));
-        }
-        let distinct: std::collections::HashSet<&String> = words.iter().collect();
-        prop_assert_eq!(dict.len(), distinct.len());
-    }
+#[test]
+fn dictionary_encode_decode_bijective() {
+    prop::check(
+        "dictionary_encode_decode_bijective",
+        |rng| {
+            gen::vec_with(rng, 0, 200, |r| {
+                let len = gen::usize_in(r, 1, 9);
+                gen::string_from(r, gen::LOWER, len)
+            })
+        },
+        |words| {
+            let mut dict = Dictionary::new(10_000);
+            let mut first_id: std::collections::HashMap<String, u32> = Default::default();
+            for w in words {
+                let id = dict.encode("d", w).unwrap();
+                // Same string always gets the same id.
+                let prev = first_id.entry(w.clone()).or_insert(id);
+                assert_eq!(*prev, id);
+                assert_eq!(dict.decode(id), Some(w.as_str()));
+            }
+            let distinct: std::collections::HashSet<&String> = words.iter().collect();
+            assert_eq!(dict.len(), distinct.len());
+        },
+    );
 }

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use scalewall_sim::sync::RwLock;
 use scalewall_sim::SimTime;
 
 use crate::delay::DelayModel;

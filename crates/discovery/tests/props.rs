@@ -2,11 +2,15 @@
 //! drawn from published history, staleness is bounded by the delay
 //! model, and per-subscriber views are monotone.
 
-use parking_lot::RwLock;
-use proptest::prelude::*;
 use scalewall_discovery::{DelayModel, DelayModelConfig, DiscoveryClient, MappingStore, ShardKey};
-use scalewall_sim::{SimDuration, SimTime};
+use scalewall_sim::prop::{self, gen};
+use scalewall_sim::sync::RwLock;
+use scalewall_sim::{SimDuration, SimRng, SimTime};
 use std::sync::Arc;
+
+fn gen_publishes(rng: &mut SimRng, min: usize, max: usize) -> Vec<(u64, u64)> {
+    gen::vec_with(rng, min, max, |r| (r.below(600), r.below(50)))
+}
 
 fn store_with(
     publishes: &[(u64, u64)], // (gap seconds, host)
@@ -23,74 +27,84 @@ fn store_with(
     (store, timeline)
 }
 
-proptest! {
-    /// A resolved host is always one that was actually published, and
-    /// never one published *after* the observation instant.
-    #[test]
-    fn resolution_is_causal(
-        publishes in proptest::collection::vec((0u64..600, 0u64..50), 1..12),
-        subscriber in 0u64..100,
-        observe_offset in 0u64..3_600,
-    ) {
-        let (store, timeline) = store_with(&publishes);
-        let model = DelayModel::new(DelayModelConfig::default());
-        let client = DiscoveryClient::new(store, model, subscriber);
-        let key = ShardKey::new("svc", 0);
-        let last_publish = timeline.last().unwrap().0;
-        let observe = last_publish + SimDuration::from_secs(observe_offset);
-        let resolved = client.resolve(&key, observe).expect("published key resolves");
-        // The value must be from the retained history...
-        let hosts_published: Vec<u64> = timeline.iter().map(|&(_, h)| h).collect();
-        prop_assert!(hosts_published.contains(&resolved.host.unwrap()));
-        // ...and must not be from the future.
-        prop_assert!(resolved.published_at <= observe || resolved.published_at <= last_publish);
-    }
+/// A resolved host is always one that was actually published, and
+/// never one published *after* the observation instant.
+#[test]
+fn resolution_is_causal() {
+    prop::check(
+        "resolution_is_causal",
+        |rng| (gen_publishes(rng, 1, 12), rng.below(100), rng.below(3_600)),
+        |(publishes, subscriber, observe_offset)| {
+            let (store, timeline) = store_with(publishes);
+            let model = DelayModel::new(DelayModelConfig::default());
+            let client = DiscoveryClient::new(store, model, *subscriber);
+            let key = ShardKey::new("svc", 0);
+            let last_publish = timeline.last().unwrap().0;
+            let observe = last_publish + SimDuration::from_secs(*observe_offset);
+            let resolved = client.resolve(&key, observe).expect("published key resolves");
+            // The value must be from the retained history...
+            let hosts_published: Vec<u64> = timeline.iter().map(|&(_, h)| h).collect();
+            assert!(hosts_published.contains(&resolved.host.unwrap()));
+            // ...and must not be from the future.
+            assert!(resolved.published_at <= observe || resolved.published_at <= last_publish);
+        },
+    );
+}
 
-    /// Far enough past the last publish, every subscriber converges on
-    /// the authoritative value (bounded staleness).
-    #[test]
-    fn eventual_convergence(
-        publishes in proptest::collection::vec((0u64..600, 0u64..50), 1..12),
-        subscriber in 0u64..100,
-    ) {
-        let (store, timeline) = store_with(&publishes);
-        let model = DelayModel::new(DelayModelConfig::default());
-        let client = DiscoveryClient::new(store.clone(), model, subscriber);
-        let key = ShardKey::new("svc", 0);
-        let (_, last_host) = *timeline.last().unwrap();
-        // The default model's delays are < 5 minutes with overwhelming
-        // probability; one hour is decisive.
-        let late = timeline.last().unwrap().0 + SimDuration::from_hours(1);
-        prop_assert_eq!(client.resolve_host(&key, late), Some(last_host));
-        // And it agrees with the authoritative store.
-        let auth = store.read().latest(&key).unwrap().host;
-        prop_assert_eq!(auth, Some(last_host));
-    }
+/// Far enough past the last publish, every subscriber converges on
+/// the authoritative value (bounded staleness).
+#[test]
+fn eventual_convergence() {
+    prop::check(
+        "eventual_convergence",
+        |rng| (gen_publishes(rng, 1, 12), rng.below(100)),
+        |(publishes, subscriber)| {
+            let (store, timeline) = store_with(publishes);
+            let model = DelayModel::new(DelayModelConfig::default());
+            let client = DiscoveryClient::new(store.clone(), model, *subscriber);
+            let key = ShardKey::new("svc", 0);
+            let (_, last_host) = *timeline.last().unwrap();
+            // The default model's delays are < 5 minutes with overwhelming
+            // probability; one hour is decisive.
+            let late = timeline.last().unwrap().0 + SimDuration::from_hours(1);
+            assert_eq!(client.resolve_host(&key, late), Some(last_host));
+            // And it agrees with the authoritative store.
+            let auth = store.read().latest(&key).unwrap().host;
+            assert_eq!(auth, Some(last_host));
+        },
+    );
+}
 
-    /// A single subscriber's view never goes backwards in publish order.
-    #[test]
-    fn per_subscriber_monotonicity(
-        publishes in proptest::collection::vec((0u64..600, 0u64..50), 2..12),
-        subscriber in 0u64..100,
-        steps in 2usize..40,
-    ) {
-        let (store, timeline) = store_with(&publishes);
-        let model = DelayModel::new(DelayModelConfig::default());
-        let client = DiscoveryClient::new(store, model, subscriber);
-        let key = ShardKey::new("svc", 0);
-        let horizon = timeline.last().unwrap().0 + SimDuration::from_hours(1);
-        let mut last_seq = None;
-        for i in 0..steps {
-            let frac = i as f64 / steps as f64;
-            let t = SimTime::from_nanos(
-                (horizon.as_nanos() as f64 * frac) as u64,
-            );
-            if let Some(update) = client.resolve(&key, t) {
-                if let Some(prev) = last_seq {
-                    prop_assert!(update.seq >= prev, "view went backwards");
+/// A single subscriber's view never goes backwards in publish order.
+#[test]
+fn per_subscriber_monotonicity() {
+    prop::check(
+        "per_subscriber_monotonicity",
+        |rng| {
+            (
+                gen_publishes(rng, 2, 12),
+                rng.below(100),
+                gen::usize_in(rng, 2, 40),
+            )
+        },
+        |(publishes, subscriber, steps)| {
+            let steps = *steps;
+            let (store, timeline) = store_with(publishes);
+            let model = DelayModel::new(DelayModelConfig::default());
+            let client = DiscoveryClient::new(store, model, *subscriber);
+            let key = ShardKey::new("svc", 0);
+            let horizon = timeline.last().unwrap().0 + SimDuration::from_hours(1);
+            let mut last_seq = None;
+            for i in 0..steps {
+                let frac = i as f64 / steps as f64;
+                let t = SimTime::from_nanos((horizon.as_nanos() as f64 * frac) as u64);
+                if let Some(update) = client.resolve(&key, t) {
+                    if let Some(prev) = last_seq {
+                        assert!(update.seq >= prev, "view went backwards");
+                    }
+                    last_seq = Some(update.seq);
                 }
-                last_seq = Some(update.seq);
             }
-        }
-    }
+        },
+    );
 }

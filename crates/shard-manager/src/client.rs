@@ -53,7 +53,7 @@ impl SmClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::RwLock;
+    use scalewall_sim::sync::RwLock;
     use scalewall_discovery::{DelayModel, DelayModelConfig, MappingStore};
 
     #[test]

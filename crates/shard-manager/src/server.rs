@@ -19,7 +19,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use scalewall_sim::sync::RwLock;
 use scalewall_discovery::{MappingStore, ShardKey};
 use scalewall_sim::{SimRng, SimTime};
 use scalewall_zk::{SessionConfig, SessionId, ZkStore};

@@ -2,7 +2,6 @@
 //! violates capacity or spread, the balancer converges and never
 //! oscillates, allocation keeps the fleet consistent.
 
-use proptest::prelude::*;
 use scalewall_shard_manager::app_server::{AppServer, AppServerRegistry, MockAppServer};
 use scalewall_shard_manager::balancer::{fleet_stats, propose_rebalance};
 use scalewall_shard_manager::placement::{rank_candidates, HostSnapshot};
@@ -10,109 +9,184 @@ use scalewall_shard_manager::{
     AppSpec, BalancerConfig, HostId, HostInfo, HostState, Rack, Region, ShardId, SmConfig,
     SmServer, SpreadDomain,
 };
-use scalewall_sim::SimTime;
-use std::collections::HashMap;
+use scalewall_sim::prop::{self, gen};
+use scalewall_sim::{SimRng, SimTime};
+use std::collections::{BTreeSet, HashMap};
 
-fn snapshots_strategy() -> impl Strategy<Value = Vec<HostSnapshot>> {
-    proptest::collection::vec((10.0f64..1_000.0, 0.0f64..800.0, 0u32..4, 0u32..3), 2..30).prop_map(
-        |hosts| {
-            hosts
-                .into_iter()
-                .enumerate()
-                .map(|(i, (capacity, load, rack, region))| HostSnapshot {
-                    info: HostInfo::new(HostId(i as u64), Rack(rack), Region(region), capacity),
-                    state: HostState::Alive,
-                    load: load.min(capacity),
-                })
-                .collect()
-        },
-    )
+fn gen_snapshots(rng: &mut SimRng) -> Vec<HostSnapshot> {
+    gen::vec_with(rng, 2, 30, |r| {
+        let capacity = gen::f64_in(r, 10.0, 1_000.0);
+        let load = gen::f64_in(r, 0.0, 800.0);
+        let rack = r.below(4) as u32;
+        let region = r.below(3) as u32;
+        (capacity, load, rack, region)
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, (capacity, load, rack, region))| HostSnapshot {
+        info: HostInfo::new(HostId(i as u64), Rack(rack), Region(region), capacity),
+        state: HostState::Alive,
+        load: load.min(capacity),
+    })
+    .collect()
 }
 
-proptest! {
-    /// Placement candidates always respect headroom, exclusions and
-    /// spread, and are sorted by projected load fraction.
-    #[test]
-    fn placement_respects_constraints(
-        hosts in snapshots_strategy(),
-        weight in 0.1f64..200.0,
-        headroom in 0.5f64..1.0,
-    ) {
-        let excluded = vec![HostId(0)];
-        let used = vec![hosts[hosts.len() - 1].info.domain(SpreadDomain::Rack)];
-        let ranked =
-            rank_candidates(&hosts, weight, headroom, SpreadDomain::Rack, &used, &excluded);
-        let mut last = 0.0f64;
-        for c in &ranked {
-            prop_assert!(!excluded.contains(&c.host));
-            let snap = hosts.iter().find(|h| h.info.id == c.host).unwrap();
-            prop_assert!(snap.load + weight <= snap.info.capacity * headroom + 1e-9);
-            prop_assert!(!used.contains(&snap.info.domain(SpreadDomain::Rack)));
-            prop_assert!(c.projected >= last - 1e-12, "sorted by projected fraction");
-            last = c.projected;
-        }
+/// Placement candidates always respect headroom, exclusions and
+/// spread, and are sorted by projected load fraction.
+#[test]
+fn placement_respects_constraints() {
+    prop::check(
+        "placement_respects_constraints",
+        |rng| {
+            (
+                gen_snapshots(rng),
+                gen::f64_in(rng, 0.1, 200.0),
+                gen::f64_in(rng, 0.5, 1.0),
+            )
+        },
+        |(hosts, weight, headroom)| {
+            let (weight, headroom) = (*weight, *headroom);
+            let excluded = vec![HostId(0)];
+            let used = vec![hosts[hosts.len() - 1].info.domain(SpreadDomain::Rack)];
+            let ranked =
+                rank_candidates(hosts, weight, headroom, SpreadDomain::Rack, &used, &excluded);
+            let mut last = 0.0f64;
+            for c in &ranked {
+                assert!(!excluded.contains(&c.host));
+                let snap = hosts.iter().find(|h| h.info.id == c.host).unwrap();
+                assert!(snap.load + weight <= snap.info.capacity * headroom + 1e-9);
+                assert!(!used.contains(&snap.info.domain(SpreadDomain::Rack)));
+                assert!(c.projected >= last - 1e-12, "sorted by projected fraction");
+                last = c.projected;
+            }
+        },
+    );
+}
+
+/// Shared body for the balancer-safety property and its pinned
+/// regression case.
+///
+/// Checks that proposals (a) never overflow a receiver past headroom,
+/// (b) never move a shard back and forth in one run, and (c) never
+/// increase the max load fraction.
+fn check_balancer_proposals(loads: &[(u64, f64)], host_count: u64) {
+    let mut hosts: Vec<HostSnapshot> = (0..host_count)
+        .map(|i| HostSnapshot {
+            info: HostInfo::new(HostId(i), Rack(0), Region(0), 1_000.0),
+            state: HostState::Alive,
+            load: 0.0,
+        })
+        .collect();
+    let mut locations = Vec::new();
+    for (si, &(host_pick, weight)) in loads.iter().enumerate() {
+        let host = HostId(host_pick % host_count);
+        locations.push((ShardId(si as u64), host, weight));
+        hosts[(host_pick % host_count) as usize].load += weight;
     }
+    let before = fleet_stats(&hosts);
+    let config = BalancerConfig {
+        max_migrations_per_run: 64,
+        ..Default::default()
+    };
+    let proposals = propose_rebalance(&hosts, &locations, &config);
 
-    /// The balancer's proposals (a) never overflow a receiver past
-    /// headroom, (b) never move a shard back and forth in one run, and
-    /// (c) never increase the max load fraction.
-    #[test]
-    fn balancer_proposals_safe(
-        loads in proptest::collection::vec((0u64..10, 0.5f64..40.0), 5..60),
-        host_count in 3u64..12,
-    ) {
-        let mut hosts: Vec<HostSnapshot> = (0..host_count)
-            .map(|i| HostSnapshot {
-                info: HostInfo::new(HostId(i), Rack(0), Region(0), 1_000.0),
-                state: HostState::Alive,
-                load: 0.0,
-            })
-            .collect();
-        let mut locations = Vec::new();
-        for (si, &(host_pick, weight)) in loads.iter().enumerate() {
-            let host = HostId(host_pick % host_count);
-            locations.push((ShardId(si as u64), host, weight));
-            hosts[(host_pick % host_count) as usize].load += weight;
-        }
-        let before = fleet_stats(&hosts);
-        let config = BalancerConfig { max_migrations_per_run: 64, ..Default::default() };
-        let proposals = propose_rebalance(&hosts, &locations, &config);
+    // No shard proposed twice.
+    let mut moved: Vec<u64> = proposals.iter().map(|p| p.shard.0).collect();
+    moved.sort_unstable();
+    let len = moved.len();
+    moved.dedup();
+    assert_eq!(moved.len(), len, "each shard moves at most once per run");
 
-        // No shard proposed twice.
-        let mut moved: Vec<u64> = proposals.iter().map(|p| p.shard.0).collect();
-        moved.sort_unstable();
-        let len = moved.len();
-        moved.dedup();
-        prop_assert_eq!(moved.len(), len, "each shard moves at most once per run");
-
-        // Apply and check invariants.
-        let mut after = hosts.clone();
-        for p in &proposals {
-            for h in after.iter_mut() {
-                if h.info.id == p.from {
-                    h.load -= p.weight;
-                }
-                if h.info.id == p.to {
-                    h.load += p.weight;
-                }
+    // Apply and check invariants.
+    let mut after = hosts.clone();
+    for p in &proposals {
+        for h in after.iter_mut() {
+            if h.info.id == p.from {
+                h.load -= p.weight;
+            }
+            if h.info.id == p.to {
+                h.load += p.weight;
             }
         }
-        for h in &after {
-            prop_assert!(h.load >= -1e-9, "loads never negative");
-            prop_assert!(
-                h.load <= h.info.capacity * config.capacity_headroom + 1e-6
-                    || hosts.iter().find(|o| o.info.id == h.info.id).unwrap().load >= h.load,
-                "receivers stay within headroom"
-            );
-        }
-        let after_stats = fleet_stats(&after);
-        prop_assert!(
-            after_stats.max_fraction <= before.max_fraction + 1e-9,
-            "max load never increases: {} -> {}",
-            before.max_fraction,
-            after_stats.max_fraction
+    }
+    for h in &after {
+        assert!(h.load >= -1e-9, "loads never negative");
+        assert!(
+            h.load <= h.info.capacity * config.capacity_headroom + 1e-6
+                || hosts.iter().find(|o| o.info.id == h.info.id).unwrap().load >= h.load,
+            "receivers stay within headroom"
         );
     }
+    let after_stats = fleet_stats(&after);
+    assert!(
+        after_stats.max_fraction <= before.max_fraction + 1e-9,
+        "max load never increases: {} -> {}",
+        before.max_fraction,
+        after_stats.max_fraction
+    );
+}
+
+#[test]
+fn balancer_proposals_safe() {
+    prop::check(
+        "balancer_proposals_safe",
+        |rng| {
+            let loads =
+                gen::vec_with(rng, 5, 60, |r| (r.below(10), gen::f64_in(r, 0.5, 40.0)));
+            let host_count = rng.range(3, 12);
+            (loads, host_count)
+        },
+        |(loads, host_count)| check_balancer_proposals(loads, *host_count),
+    );
+}
+
+/// Regression (ported from the retired `props.proptest-regressions`
+/// file): a 38-shard layout over 9 hosts where proptest once shrank a
+/// violation of the balancer-safety property. Keeps the exact shrunk
+/// input as a named test.
+#[test]
+fn regression_balancer_38_shards_9_hosts() {
+    let loads: [(u64, f64); 38] = [
+        (9, 24.46421384895874),
+        (8, 6.213805280250689),
+        (1, 33.48136421037748),
+        (4, 23.427350088139953),
+        (8, 20.445966998868624),
+        (4, 9.051030562137989),
+        (5, 35.55932250133571),
+        (9, 13.283134202335127),
+        (9, 19.476617231842603),
+        (1, 5.331920959970259),
+        (5, 32.05575386563668),
+        (1, 18.773100837373082),
+        (7, 15.405006180515192),
+        (5, 23.95296057959769),
+        (0, 17.022334325535265),
+        (1, 37.32435995431697),
+        (4, 28.194777203975658),
+        (5, 36.360268897500404),
+        (3, 34.045686413326656),
+        (5, 36.790093744100275),
+        (5, 22.260253627175235),
+        (3, 20.201289246466434),
+        (0, 32.63486832815383),
+        (1, 32.8905143297783),
+        (0, 25.01842958590406),
+        (7, 18.334292201327816),
+        (3, 24.701937590238376),
+        (4, 33.51050347673977),
+        (6, 32.76485982086062),
+        (5, 36.42526285169949),
+        (1, 3.6510336910134487),
+        (5, 24.695497611469378),
+        (2, 37.65034870859291),
+        (0, 26.301205526526765),
+        (3, 21.27233941427683),
+        (2, 31.077924310269292),
+        (5, 29.277668758460212),
+        (0, 11.289672098252101),
+    ];
+    check_balancer_proposals(&loads, 9);
 }
 
 // ------------------------------------------------- full-server allocation
@@ -126,54 +200,64 @@ impl AppServerRegistry for Fleet {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Allocating any sequence of shards keeps the SM fleet consistent:
-    /// every shard has exactly the replica count its spec demands, all
-    /// replicas live on distinct hosts, and the app servers agree about
-    /// what they hold.
-    #[test]
-    fn allocation_consistency(
-        shard_ids in proptest::collection::btree_set(0u64..500, 1..40),
-        hosts in 2u64..12,
-        replicas in 1u32..3,
-    ) {
-        prop_assume!(hosts >= replicas as u64);
-        let mut sm = SmServer::standalone(SmConfig::default());
-        sm.register_app(
-            AppSpec::primary_only("app", 1_000).with_replication(
-                scalewall_shard_manager::ReplicationMode::SecondaryOnly { replicas },
-            ),
-        )
-        .unwrap();
-        let mut fleet = Fleet::default();
-        for i in 0..hosts {
-            sm.register_host(
-                HostInfo::new(HostId(i), Rack((i % 3) as u32), Region(0), 1e9),
-                SimTime::ZERO,
+/// Allocating any sequence of shards keeps the SM fleet consistent:
+/// every shard has exactly the replica count its spec demands, all
+/// replicas live on distinct hosts, and the app servers agree about
+/// what they hold.
+#[test]
+fn allocation_consistency() {
+    prop::check_n(
+        "allocation_consistency",
+        32,
+        |rng| {
+            let mut shard_ids = BTreeSet::new();
+            let target = gen::usize_in(rng, 1, 40);
+            while shard_ids.len() < target {
+                shard_ids.insert(rng.below(500));
+            }
+            let hosts = rng.range(2, 12);
+            let replicas = rng.range(1, 3) as u32;
+            (shard_ids, hosts, replicas)
+        },
+        |(shard_ids, hosts, replicas)| {
+            let (hosts, replicas) = (*hosts, *replicas);
+            prop::assume(hosts >= replicas as u64);
+            let mut sm = SmServer::standalone(SmConfig::default());
+            sm.register_app(
+                AppSpec::primary_only("app", 1_000).with_replication(
+                    scalewall_shard_manager::ReplicationMode::SecondaryOnly { replicas },
+                ),
             )
             .unwrap();
-            fleet.0.insert(HostId(i), MockAppServer::with_capacity(1e9));
-        }
-        for &s in &shard_ids {
-            sm.allocate_shard("app", ShardId(s), 1.0, SimTime::ZERO, &mut fleet).unwrap();
-        }
-        for &s in &shard_ids {
-            let assigned = sm.replicas_of("app", ShardId(s)).unwrap();
-            prop_assert_eq!(assigned.len(), replicas as usize);
-            let mut hs: Vec<HostId> = assigned.iter().map(|&(h, _)| h).collect();
-            hs.sort();
-            let count = hs.len();
-            hs.dedup();
-            prop_assert_eq!(hs.len(), count, "replicas on distinct hosts");
-            for h in hs {
-                prop_assert!(fleet.0[&h].shards.contains_key(&s), "app server agrees");
+            let mut fleet = Fleet::default();
+            for i in 0..hosts {
+                sm.register_host(
+                    HostInfo::new(HostId(i), Rack((i % 3) as u32), Region(0), 1e9),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+                fleet.0.insert(HostId(i), MockAppServer::with_capacity(1e9));
             }
-        }
-        // Load accounting adds up: total load = shards × replicas × weight.
-        let total: f64 = (0..hosts).map(|i| sm.host_load(HostId(i))).sum();
-        let expected = shard_ids.len() as f64 * replicas as f64;
-        prop_assert!((total - expected).abs() < 1e-6, "{total} vs {expected}");
-    }
+            for &s in shard_ids {
+                sm.allocate_shard("app", ShardId(s), 1.0, SimTime::ZERO, &mut fleet)
+                    .unwrap();
+            }
+            for &s in shard_ids {
+                let assigned = sm.replicas_of("app", ShardId(s)).unwrap();
+                assert_eq!(assigned.len(), replicas as usize);
+                let mut hs: Vec<HostId> = assigned.iter().map(|&(h, _)| h).collect();
+                hs.sort();
+                let count = hs.len();
+                hs.dedup();
+                assert_eq!(hs.len(), count, "replicas on distinct hosts");
+                for h in hs {
+                    assert!(fleet.0[&h].shards.contains_key(&s), "app server agrees");
+                }
+            }
+            // Load accounting adds up: total load = shards × replicas × weight.
+            let total: f64 = (0..hosts).map(|i| sm.host_load(HostId(i))).sum();
+            let expected = shard_ids.len() as f64 * replicas as f64;
+            assert!((total - expected).abs() < 1e-6, "{total} vs {expected}");
+        },
+    );
 }

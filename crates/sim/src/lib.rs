@@ -16,14 +16,20 @@
 //!   Zipf (access skew), Bernoulli and Poisson processes (failures).
 //! * [`stats`] — online statistics: log-bucketed latency histograms with
 //!   percentile queries, Welford accumulators, daily time-series counters.
+//! * [`sync`] — poison-free `RwLock`/`Mutex` wrappers over `std::sync`
+//!   (the workspace is hermetic: no external lock crates).
+//! * [`prop`] — a lightweight property-based testing harness over
+//!   [`SimRng`], used by every crate's invariant suites.
 //!
 //! Nothing in this crate knows about databases or shards; it is the
 //! hardware-and-physics layer everything else runs on.
 
 pub mod dist;
 pub mod event;
+pub mod prop;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use dist::{

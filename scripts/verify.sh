@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run exactly as the evaluation driver runs it but
+# with --offline forced, so a network regression (any reintroduced
+# external dependency) fails fast and loudly instead of hanging on
+# registry retries. `.cargo/config.toml` additionally pins
+# `net.offline = true` for plain cargo invocations.
+#
+# See DESIGN.md "Hermetic build policy" for why the workspace has zero
+# external crates and how to vendor a substitute if one is ever needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Guard: no external registry dependencies may appear in any manifest.
+if grep -RInE '^\s*(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde|tokio|rayon)\b.*=' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: external registry dependency found in a manifest." >&2
+    echo "This workspace is hermetic (DESIGN.md); vendor a substitute instead." >&2
+    exit 1
+fi
+
+cargo build --release --offline
+cargo test -q --offline
+
+echo "tier-1 verify: OK (offline)"

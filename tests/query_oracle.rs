@@ -2,12 +2,13 @@
 //! naive row-store oracle for randomized workloads, schemas, predicates
 //! and compression states.
 
-use proptest::prelude::*;
 use scalewall::cubrick::hotness::MemoryMonitorConfig;
 use scalewall::cubrick::query::{execute_partition, AggFunc, AggSpec, Predicate, Query};
 use scalewall::cubrick::schema::SchemaBuilder;
 use scalewall::cubrick::store::PartitionData;
 use scalewall::cubrick::value::{Row, Value};
+use scalewall::sim::prop::{self, gen};
+use scalewall::sim::SimRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -47,8 +48,12 @@ fn partition_from(rows: &[OracleRow], compress: bool) -> PartitionData {
     p
 }
 
-fn row_strategy() -> impl Strategy<Value = OracleRow> {
-    (0..DS_MAX, 0..APPS, -100.0f64..100.0).prop_map(|(ds, app, m)| OracleRow { ds, app, m })
+fn gen_row(rng: &mut SimRng) -> OracleRow {
+    OracleRow {
+        ds: rng.below(DS_MAX as u64) as i64,
+        app: rng.below(APPS as u64) as usize,
+        m: gen::f64_in(rng, -100.0, 100.0),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -59,13 +64,17 @@ enum Pred {
     AppIn(Vec<usize>),
 }
 
-fn pred_strategy() -> impl Strategy<Value = Pred> {
-    prop_oneof![
-        (0..DS_MAX).prop_map(Pred::DsEq),
-        (0..DS_MAX, 0..DS_MAX).prop_map(|(a, b)| Pred::DsBetween(a.min(b), a.max(b))),
-        (0..APPS).prop_map(Pred::AppEq),
-        proptest::collection::vec(0..APPS, 1..4).prop_map(Pred::AppIn),
-    ]
+fn gen_pred(rng: &mut SimRng) -> Pred {
+    match rng.below(4) {
+        0 => Pred::DsEq(rng.below(DS_MAX as u64) as i64),
+        1 => {
+            let a = rng.below(DS_MAX as u64) as i64;
+            let b = rng.below(DS_MAX as u64) as i64;
+            Pred::DsBetween(a.min(b), a.max(b))
+        }
+        2 => Pred::AppEq(rng.below(APPS as u64) as usize),
+        _ => Pred::AppIn(gen::vec_with(rng, 1, 4, |r| r.below(APPS as u64) as usize)),
+    }
 }
 
 fn matches(r: &OracleRow, p: &Pred) -> bool {
@@ -89,117 +98,143 @@ fn to_predicate(p: &Pred) -> Predicate {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn sum_and_count_match_oracle() {
+    prop::check_n(
+        "sum_and_count_match_oracle",
+        48,
+        |rng| {
+            (
+                gen::vec_with(rng, 0, 400, gen_row),
+                gen::vec_with(rng, 0, 3, gen_pred),
+                gen::any_bool(rng),
+            )
+        },
+        |(rows, preds, compress)| {
+            let mut partition = partition_from(rows, *compress);
+            let query = Query {
+                table: "t".into(),
+                aggs: vec![AggSpec::new(AggFunc::Sum, "m"), AggSpec::count_star()],
+                predicates: preds.iter().map(to_predicate).collect(),
+                group_by: vec![],
+                order_by: None,
+                limit: None,
+            };
+            let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
 
-    #[test]
-    fn sum_and_count_match_oracle(
-        rows in proptest::collection::vec(row_strategy(), 0..400),
-        preds in proptest::collection::vec(pred_strategy(), 0..3),
-        compress in any::<bool>(),
-    ) {
-        let mut partition = partition_from(&rows, compress);
-        let query = Query {
-            table: "t".into(),
-            aggs: vec![AggSpec::new(AggFunc::Sum, "m"), AggSpec::count_star()],
-            predicates: preds.iter().map(to_predicate).collect(),
-            group_by: vec![],
-            order_by: None,
-            limit: None,
-        };
-        let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
+            let surviving: Vec<&OracleRow> = rows
+                .iter()
+                .filter(|r| preds.iter().all(|p| matches(r, p)))
+                .collect();
+            let expect_count = surviving.len() as f64;
+            let expect_sum: f64 = surviving.iter().map(|r| r.m).sum();
 
-        let surviving: Vec<&OracleRow> =
-            rows.iter().filter(|r| preds.iter().all(|p| matches(r, p))).collect();
-        let expect_count = surviving.len() as f64;
-        let expect_sum: f64 = surviving.iter().map(|r| r.m).sum();
+            if expect_count == 0.0 {
+                let count = out.rows.first().map(|r| r.aggs[1]).unwrap_or(0.0);
+                assert_eq!(count, 0.0);
+            } else {
+                assert_eq!(out.rows[0].aggs[1], expect_count);
+                assert!(
+                    (out.rows[0].aggs[0] - expect_sum).abs() < 1e-6,
+                    "sum {} vs oracle {}",
+                    out.rows[0].aggs[0],
+                    expect_sum
+                );
+            }
+        },
+    );
+}
 
-        if expect_count == 0.0 {
-            let count = out.rows.first().map(|r| r.aggs[1]).unwrap_or(0.0);
-            prop_assert_eq!(count, 0.0);
-        } else {
-            prop_assert_eq!(out.rows[0].aggs[1], expect_count);
-            prop_assert!((out.rows[0].aggs[0] - expect_sum).abs() < 1e-6,
-                "sum {} vs oracle {}", out.rows[0].aggs[0], expect_sum);
-        }
-    }
+#[test]
+fn group_by_matches_oracle() {
+    prop::check_n(
+        "group_by_matches_oracle",
+        48,
+        |rng| (gen::vec_with(rng, 1, 300, gen_row), gen_pred(rng)),
+        |(rows, pred)| {
+            let mut partition = partition_from(rows, false);
+            let query = Query {
+                table: "t".into(),
+                aggs: vec![AggSpec::new(AggFunc::Min, "m"), AggSpec::new(AggFunc::Max, "m")],
+                predicates: vec![to_predicate(pred)],
+                group_by: vec!["app".into()],
+                order_by: None,
+                limit: None,
+            };
+            let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
 
-    #[test]
-    fn group_by_matches_oracle(
-        rows in proptest::collection::vec(row_strategy(), 1..300),
-        pred in pred_strategy(),
-    ) {
-        let mut partition = partition_from(&rows, false);
-        let query = Query {
-            table: "t".into(),
-            aggs: vec![AggSpec::new(AggFunc::Min, "m"), AggSpec::new(AggFunc::Max, "m")],
-            predicates: vec![to_predicate(&pred)],
-            group_by: vec!["app".into()],
-            order_by: None,
-            limit: None,
-        };
-        let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
+            let mut oracle: HashMap<String, (f64, f64)> = HashMap::new();
+            for r in rows.iter().filter(|r| matches(r, pred)) {
+                let e = oracle
+                    .entry(format!("app{}", r.app))
+                    .or_insert((f64::INFINITY, f64::NEG_INFINITY));
+                e.0 = e.0.min(r.m);
+                e.1 = e.1.max(r.m);
+            }
+            assert_eq!(out.rows.len(), oracle.len());
+            for row in &out.rows {
+                let key = row.key[0].as_str().unwrap();
+                let (lo, hi) = oracle[key];
+                assert!((row.aggs[0] - lo).abs() < 1e-9);
+                assert!((row.aggs[1] - hi).abs() < 1e-9);
+            }
+        },
+    );
+}
 
-        let mut oracle: HashMap<String, (f64, f64)> = HashMap::new();
-        for r in rows.iter().filter(|r| matches(r, &pred)) {
-            let e = oracle
-                .entry(format!("app{}", r.app))
-                .or_insert((f64::INFINITY, f64::NEG_INFINITY));
-            e.0 = e.0.min(r.m);
-            e.1 = e.1.max(r.m);
-        }
-        prop_assert_eq!(out.rows.len(), oracle.len());
-        for row in &out.rows {
-            let key = row.key[0].as_str().unwrap();
-            let (lo, hi) = oracle[key];
-            prop_assert!((row.aggs[0] - lo).abs() < 1e-9);
-            prop_assert!((row.aggs[1] - hi).abs() < 1e-9);
-        }
-    }
+#[test]
+fn avg_consistent_with_sum_over_count() {
+    prop::check_n(
+        "avg_consistent_with_sum_over_count",
+        48,
+        |rng| gen::vec_with(rng, 1, 200, gen_row),
+        |rows| {
+            let mut partition = partition_from(rows, false);
+            let query = Query {
+                table: "t".into(),
+                aggs: vec![
+                    AggSpec::new(AggFunc::Avg, "m"),
+                    AggSpec::new(AggFunc::Sum, "m"),
+                    AggSpec::count_star(),
+                ],
+                predicates: vec![],
+                group_by: vec![],
+                order_by: None,
+                limit: None,
+            };
+            let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
+            let (avg, sum, count) = (out.rows[0].aggs[0], out.rows[0].aggs[1], out.rows[0].aggs[2]);
+            assert!((avg - sum / count).abs() < 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn avg_consistent_with_sum_over_count(
-        rows in proptest::collection::vec(row_strategy(), 1..200),
-    ) {
-        let mut partition = partition_from(&rows, false);
-        let query = Query {
-            table: "t".into(),
-            aggs: vec![
-                AggSpec::new(AggFunc::Avg, "m"),
-                AggSpec::new(AggFunc::Sum, "m"),
-                AggSpec::count_star(),
-            ],
-            predicates: vec![],
-            group_by: vec![],
-            order_by: None,
-            limit: None,
-        };
-        let out = execute_partition(&mut partition, &query, 1).unwrap().finalize();
-        let (avg, sum, count) = (out.rows[0].aggs[0], out.rows[0].aggs[1], out.rows[0].aggs[2]);
-        prop_assert!((avg - sum / count).abs() < 1e-9);
-    }
-
-    #[test]
-    fn all_rows_round_trips_everything(
-        rows in proptest::collection::vec(row_strategy(), 0..200),
-        compress in any::<bool>(),
-    ) {
-        let partition = partition_from(&rows, compress);
-        let mut restored: Vec<(i64, String, f64)> = partition
-            .all_rows()
-            .into_iter()
-            .map(|r| {
-                (
-                    r.dims[0].as_int().unwrap(),
-                    r.dims[1].as_str().unwrap().to_string(),
-                    r.metrics[0],
-                )
-            })
-            .collect();
-        let mut original: Vec<(i64, String, f64)> =
-            rows.iter().map(|r| (r.ds, format!("app{}", r.app), r.m)).collect();
-        restored.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        original.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert_eq!(restored, original);
-    }
+#[test]
+fn all_rows_round_trips_everything() {
+    prop::check_n(
+        "all_rows_round_trips_everything",
+        48,
+        |rng| (gen::vec_with(rng, 0, 200, gen_row), gen::any_bool(rng)),
+        |(rows, compress)| {
+            let partition = partition_from(rows, *compress);
+            let mut restored: Vec<(i64, String, f64)> = partition
+                .all_rows()
+                .into_iter()
+                .map(|r| {
+                    (
+                        r.dims[0].as_int().unwrap(),
+                        r.dims[1].as_str().unwrap().to_string(),
+                        r.metrics[0],
+                    )
+                })
+                .collect();
+            let mut original: Vec<(i64, String, f64)> = rows
+                .iter()
+                .map(|r| (r.ds, format!("app{}", r.app), r.m))
+                .collect();
+            restored.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            original.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(restored, original);
+        },
+    );
 }

@@ -2,7 +2,7 @@
 //! store + service discovery, exercised together the way Cubrick uses
 //! them (without the database on top).
 
-use parking_lot::RwLock;
+use scalewall::sim::sync::RwLock;
 use scalewall::discovery::{DelayModel, DelayModelConfig, DiscoveryClient, ShardKey};
 use scalewall::shard_manager::app_server::MockAppServer;
 use scalewall::shard_manager::{
