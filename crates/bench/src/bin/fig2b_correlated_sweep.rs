@@ -1,0 +1,8 @@
+//! Figure 2b: correlated-fault scenario sweep and the rack-spread
+//! blast-radius ablation. `--fast` runs the smoke-test scale.
+
+use scalewall_bench::{figures, Profile};
+
+fn main() {
+    print!("{}", figures::fig2b::run(Profile::from_args()));
+}

@@ -5,6 +5,7 @@ pub mod best_effort_ablation;
 pub mod coordinator_ablation;
 pub mod fig1;
 pub mod fig2;
+pub mod fig2b;
 pub mod fig4a;
 pub mod fig4b;
 pub mod fig4c;
@@ -25,6 +26,7 @@ pub fn run_all(profile: Profile) -> String {
     let runs: &[(&str, FigureFn)] = &[
         ("fig1", fig1::run),
         ("fig2", fig2::run),
+        ("fig2b", fig2b::run),
         ("tblA", tbl_mapping::run),
         ("fig4a", fig4a::run),
         ("fig4b", fig4b::run),

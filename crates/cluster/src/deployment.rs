@@ -19,7 +19,8 @@ use cubrick::value::Row;
 use scalewall_sim::sync::RwLock;
 use scalewall_discovery::{DelayModel, DelayModelConfig, DiscoveryClient};
 use scalewall_shard_manager::{
-    AppSpec, BalancerConfig, HostId, HostInfo, Rack, Region, ShardId, SmConfig, SmServer,
+    AppSpec, BalancerConfig, HostId, HostInfo, HostState, Rack, Region, ShardId, SmConfig,
+    SmServer,
 };
 use scalewall_sim::{SimRng, SimTime};
 
@@ -41,6 +42,11 @@ pub struct DeploymentConfig {
     pub balancer: BalancerConfig,
     pub sm: SmConfig,
     pub discovery_delay: DelayModelConfig,
+    /// Fault-domain-aware placement: tag each table's shards as one SM
+    /// anti-affinity group so partitions spread across hosts *and racks*
+    /// (best-effort; the §IV-A veto stays the hard backstop). Ablatable
+    /// for the correlated-failure sweep (`fig2b_correlated_sweep`).
+    pub rack_spread: bool,
     pub seed: u64,
 }
 
@@ -56,9 +62,36 @@ impl Default for DeploymentConfig {
             balancer: BalancerConfig::default(),
             sm: SmConfig::default(),
             discovery_delay: DelayModelConfig::default(),
+            rack_spread: true,
             seed: 0xD3B7,
         }
     }
+}
+
+/// RNG stream label of the rack-topology stream (see [`Deployment::new`]).
+const RACK_TOPOLOGY_STREAM: u64 = 0x7ac0;
+
+/// Balanced random host→rack assignment: every rack gets
+/// ⌈hosts/racks⌉ or ⌊hosts/racks⌋ hosts, order shuffled from the
+/// topology stream. Real fleets do not hand out rack slots in host-id
+/// order, and round-robin numbering would silently guarantee rack
+/// diversity that placement is supposed to *earn*.
+fn rack_assignment(hosts: u32, racks: u32, rng: &mut SimRng) -> Vec<Rack> {
+    let racks = racks.max(1);
+    let mut assignment: Vec<Rack> = (0..hosts).map(|i| Rack(i % racks)).collect();
+    rng.shuffle(&mut assignment);
+    assignment
+}
+
+/// Anti-affinity group key for a table: a stable FNV-1a hash of the name,
+/// so all regions (and replays) agree without shared state.
+pub fn table_group(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 /// One region's slice of the deployment.
@@ -103,10 +136,20 @@ pub const REGION_HOST_STRIDE: u64 = 1_000_000;
 impl Deployment {
     pub fn new(config: DeploymentConfig) -> Self {
         let mut rng = SimRng::new(config.seed);
+        // Rack topology comes from its own forked stream (rooted at the
+        // deployment seed, not drawn from `rng`), so changing the rack
+        // layout never perturbs node seeds or workload streams — the
+        // fork-stability contract of `scalewall_sim::rng`.
+        let mut topo_rng = SimRng::new(config.seed).fork(RACK_TOPOLOGY_STREAM);
         let catalog = shared_catalog(config.max_shards);
         let mut regions = Vec::with_capacity(config.regions as usize);
         for r in 0..config.regions {
             let region = Region(r);
+            let racks = rack_assignment(
+                config.hosts_per_region,
+                config.racks_per_region,
+                &mut topo_rng.fork(r as u64),
+            );
             let mut sm = SmServer::standalone(config.sm.clone());
             sm.register_app(
                 AppSpec::primary_only(APP, config.max_shards).with_balancer(config.balancer),
@@ -116,7 +159,7 @@ impl Deployment {
             let mut nodes = NodeRegistry::new();
             for i in 0..config.hosts_per_region {
                 let host = HostId(r as u64 * REGION_HOST_STRIDE + i as u64);
-                let rack = Rack(i % config.racks_per_region);
+                let rack = racks[i as usize];
                 sm.register_host(
                     HostInfo::new(host, rack, region, config.host_memory_bytes as f64),
                     SimTime::ZERO,
@@ -185,12 +228,14 @@ impl Deployment {
         )?;
         let shards = self.catalog.read().shards_of_table(name)?;
         let weight_hint = self.config.sm.default_shard_weight;
+        let group = self.config.rack_spread.then(|| table_group(name));
         for region in &mut self.regions {
             for &shard in &shards {
-                match region.sm.allocate_shard(
+                match region.sm.allocate_shard_in_group(
                     APP,
                     ShardId(shard),
                     weight_hint,
+                    group,
                     now,
                     &mut region.nodes,
                 ) {
@@ -294,13 +339,15 @@ impl Deployment {
 
         // Fix up shard allocations: new shards in, orphaned shards out.
         let weight_hint = self.config.sm.default_shard_weight;
+        let group = self.config.rack_spread.then(|| table_group(table));
         for region in &mut self.regions {
             for &shard in &new_shards {
                 if !old_shards.contains(&shard) {
-                    match region.sm.allocate_shard(
+                    match region.sm.allocate_shard_in_group(
                         APP,
                         ShardId(shard),
                         weight_hint,
+                        group,
                         now,
                         &mut region.nodes,
                     ) {
@@ -420,6 +467,83 @@ impl Deployment {
         } else {
             false
         }
+    }
+
+    /// Repair a *transient* outage in place: the same physical host comes
+    /// back (same id, same rack), unlike [`replace_host`] which swaps in
+    /// fresh hardware. Cubrick is in-memory, so the restarted process is
+    /// empty; SM's [`rejoin_host`] re-adds whatever shards are still
+    /// assigned to it (shards that already failed over elsewhere stay
+    /// where they went) and the node reloads their data from upstream.
+    /// Returns `false` for unknown or not-dead hosts. Used by rack/region
+    /// outage repair.
+    ///
+    /// [`replace_host`]: Deployment::replace_host
+    /// [`rejoin_host`]: SmServer::rejoin_host
+    pub fn restore_host(&mut self, region_idx: usize, host: HostId, now: SimTime) -> bool {
+        let region = &mut self.regions[region_idx];
+        if region.sm.host_state(host) != Some(HostState::Dead) {
+            return false;
+        }
+        // Revive the process empty, then let SM hand its shards back.
+        region.nodes.revive(host);
+        if let Some(node) = region.nodes.node_mut(host) {
+            node.reboot();
+        }
+        if region.sm.rejoin_host(host, now, &mut region.nodes).is_err() {
+            return false;
+        }
+        Self::region_tick(region, now);
+        true
+    }
+
+    /// All hosts currently registered in `region_idx`'s SM that sit in
+    /// `rack` (sorted; includes dead hosts — an outage takes down the
+    /// whole rack regardless of process state).
+    pub fn hosts_in_rack(&self, region_idx: usize, rack: Rack) -> Vec<HostId> {
+        let region = &self.regions[region_idx];
+        let mut hosts: Vec<HostId> = region
+            .sm
+            .host_ids()
+            .filter(|&h| region.sm.host_info(h).is_some_and(|i| i.rack == rack))
+            .collect();
+        hosts.sort();
+        hosts
+    }
+
+    /// Same-table partition collisions across the whole deployment: the
+    /// number of `(host, table)` pairs where one node owns **more than
+    /// one** shard carrying partitions of the same table — exactly what
+    /// the §IV-A veto exists to prevent. Creation-time placement keeps
+    /// this at zero while capacity allows; migrations and failovers must
+    /// never introduce one.
+    pub fn same_table_collisions(&self) -> usize {
+        use std::collections::HashMap;
+        let catalog = self.catalog.read();
+        let mut collisions = 0usize;
+        for region in &self.regions {
+            let hosts: Vec<HostId> = region.nodes.hosts().collect();
+            for host in hosts {
+                let Some(node) = region.nodes.node(host) else {
+                    continue;
+                };
+                let mut shards_per_table: HashMap<Arc<str>, u32> = HashMap::new();
+                for shard in node.owned_shards() {
+                    let mut tables: Vec<Arc<str>> = catalog
+                        .partitions_of_shard(shard)
+                        .iter()
+                        .map(|(t, _)| t.clone())
+                        .collect();
+                    tables.sort();
+                    tables.dedup();
+                    for t in tables {
+                        *shards_per_table.entry(t).or_insert(0) += 1;
+                    }
+                }
+                collisions += shards_per_table.values().filter(|&&n| n > 1).count();
+            }
+        }
+        collisions
     }
 
     // ------------------------------------------------------------------- time
@@ -789,5 +913,135 @@ mod tests {
         // Fresh equal-weight allocation is already balanced.
         assert_eq!(started, 0);
         assert_eq!(dep.total_migrations(), 0);
+    }
+
+    /// The stuck-drain regression (ISSUE 2 satellite 4): a failover's
+    /// *target* dies mid-copy. The aborted migration used to leave the
+    /// shard assigned to the original dead host with nothing queued to
+    /// retry it, so `decommission_if_drained` wedged forever. The fix
+    /// re-queues the orphaned shard; a second replacement host must then
+    /// receive it and both dead hosts must decommission.
+    #[test]
+    fn failover_retargets_when_replacement_dies_mid_copy() {
+        let mut dep = small();
+        // 8 partitions over 8 hosts: every failover is vetoed until the
+        // repair workflow brings fresh capacity (same setup as
+        // `failover_blocked_by_veto_unblocks_on_repair`).
+        dep.create_table(
+            "t",
+            schema(),
+            8,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let shards = dep.catalog.read().shards_of_table("t").unwrap();
+        let victim = dep.regions[0].authoritative_host(shards[0]).unwrap();
+        dep.fail_host(0, victim, t(10));
+        dep.tick(t(3_600));
+        assert_eq!(dep.regions[0].authoritative_host(shards[0]), Some(victim));
+
+        // Fresh capacity appears; the queued failover starts copying
+        // (copy takes ≥ 250ms of fixed overhead)...
+        let replacement = dep.replace_host(0, victim, t(7_200)).unwrap();
+        dep.tick(t(7_200) + SimDuration::from_millis(50));
+        // ...and the replacement dies mid-copy.
+        dep.fail_host(0, replacement, t(7_200) + SimDuration::from_millis(100));
+        // A tick sweeps the aborted record into history.
+        dep.tick(t(7_200) + SimDuration::from_millis(200));
+        let aborted = dep.regions[0]
+            .sm
+            .migration_history()
+            .iter()
+            .filter(|m| m.phase == scalewall_shard_manager::MigrationPhase::Failed)
+            .count();
+        assert!(aborted >= 1, "the in-flight failover copy must abort");
+        // Nothing feasible yet — the shard must be *queued*, not wedged:
+        // as soon as a second replacement registers, it lands there.
+        let replacement2 = dep.replace_host(0, replacement, t(7_500)).unwrap();
+        dep.tick(t(7_500) + SimDuration::from_hours(1));
+        let finally = dep.regions[0].authoritative_host(shards[0]).unwrap();
+        assert_eq!(finally, replacement2, "failover re-targeted after abort");
+        assert!(dep.regions[0]
+            .nodes
+            .node(finally)
+            .unwrap()
+            .shard_ready(shards[0]));
+        // Both dead hosts fully drained → decommissioned, not wedged.
+        // (The aborted target never received the assignment, so its own
+        // `replace_host` call decommissioned it on the spot.)
+        assert!(dep.decommission_if_drained(0, victim));
+        assert!(dep.regions[0].sm.host_state(replacement).is_none());
+        assert_eq!(dep.same_table_collisions(), 0);
+    }
+
+    #[test]
+    fn rack_topology_is_balanced_and_deterministic() {
+        let config = || DeploymentConfig {
+            regions: 2,
+            hosts_per_region: 10,
+            racks_per_region: 4,
+            max_shards: 1_000,
+            ..Default::default()
+        };
+        let a = Deployment::new(config());
+        let b = Deployment::new(config());
+        for r in 0..2 {
+            let mut seen = Vec::new();
+            for rack in 0..4 {
+                let hosts = a.hosts_in_rack(r, Rack(rack));
+                // Balanced: 10 hosts over 4 racks → racks of 2 or 3.
+                assert!(
+                    (2..=3).contains(&hosts.len()),
+                    "rack {rack} has {} hosts",
+                    hosts.len()
+                );
+                // Deterministic: same seed → same topology.
+                assert_eq!(hosts, b.hosts_in_rack(r, Rack(rack)));
+                seen.extend(hosts);
+            }
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), 10, "every host sits in exactly one rack");
+        }
+    }
+
+    /// In-place restore after a transient crash: shards that could not
+    /// fail over anywhere (veto) are handed back to the restarted host.
+    #[test]
+    fn restore_host_rejoins_with_stranded_assignments() {
+        let mut dep = small();
+        dep.create_table(
+            "t",
+            schema(),
+            8,
+            RowMapping::Hash,
+            ShardMapping::Monotonic,
+            t(0),
+        )
+        .unwrap();
+        let shards = dep.catalog.read().shards_of_table("t").unwrap();
+        let victim = dep.regions[0].authoritative_host(shards[0]).unwrap();
+        dep.fail_host(0, victim, t(10));
+        dep.tick(t(3_600));
+        // Vetoed everywhere → still assigned to the dead host.
+        assert_eq!(dep.regions[0].authoritative_host(shards[0]), Some(victim));
+        assert!(!dep.restore_host(0, HostId(99_999), t(7_000)), "unknown");
+        assert!(dep.restore_host(0, victim, t(7_200)));
+        assert!(!dep.restore_host(0, victim, t(7_300)), "already alive");
+        dep.tick(t(7_200) + SimDuration::from_hours(1));
+        // Same host serves the shard again, process-level state rebuilt.
+        assert_eq!(dep.regions[0].authoritative_host(shards[0]), Some(victim));
+        assert!(dep.regions[0]
+            .nodes
+            .node(victim)
+            .unwrap()
+            .owns_shard(shards[0]));
+        assert_eq!(
+            dep.regions[0].sm.host_state(victim),
+            Some(HostState::Alive)
+        );
+        assert_eq!(dep.same_table_collisions(), 0);
     }
 }

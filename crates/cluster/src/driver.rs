@@ -133,6 +133,24 @@ pub fn run_query(
         };
         attempts += 1;
 
+        // Inter-region network partition (fault injection): if the chosen
+        // region is unreachable from the client's region, the attempt dies
+        // at connection establishment and the proxy falls back to another
+        // region — the same §IV-D retry path hardware failures take.
+        if !net.reachable(opts.client_region.0, region.0) {
+            total_latency += net.unreachable_probe();
+            let error = CubrickError::RegionUnreachable {
+                from: opts.client_region.0,
+                to: region.0,
+            };
+            if proxy.should_retry(&error, attempts - 1) {
+                excluded.push(region);
+                continue;
+            }
+            proxy.complete();
+            return fail(error, attempts, total_latency);
+        }
+
         // Coordinator selection costs (§IV-C strategies).
         let choice = proxy.choose_coordinator(&query.table, opts.strategy, def.partitions, rng);
         if choice.extra_roundtrip {

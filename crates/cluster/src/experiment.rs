@@ -7,16 +7,19 @@
 //! drains — and collects the counters behind the paper's operational
 //! figures (4d migrations/day, 4e hot/cold bricks, 4f repairs/day).
 
+use std::collections::BTreeMap;
+
 use cubrick::catalog::RowMapping;
 use cubrick::proxy::{CubrickProxy, ProxyConfig};
 use cubrick::sharding::ShardMapping;
-use scalewall_shard_manager::{HostId, Region};
+use scalewall_shard_manager::{HostId, Rack, Region};
 use scalewall_sim::{
-    DailyCounter, EventQueue, Exponential, Histogram, SimDuration, SimRng, SimTime,
+    DailyCounter, EventQueue, Exponential, FaultTimeline, Histogram, SimDuration, SimRng, SimTime,
 };
 
 use crate::deployment::{Deployment, DeploymentConfig};
 use crate::driver::{run_query, QueryOptions};
+use crate::fault::{FaultKind, FaultScript};
 use crate::net::{NetModel, NetModelConfig};
 use crate::workload::{gen_query, gen_rows, TablePopulation, WorkloadConfig};
 
@@ -43,6 +46,11 @@ pub struct ExperimentConfig {
     pub drains_per_day: f64,
     /// How long a drained host stays in maintenance.
     pub maintenance_duration: SimDuration,
+    /// Scripted correlated faults injected mid-run (empty = healthy run).
+    /// Victim selection draws from a dedicated forked stream, so adding
+    /// or removing a script never perturbs the population or workload
+    /// streams of the same seed.
+    pub faults: FaultScript,
     pub seed: u64,
 }
 
@@ -66,6 +74,7 @@ impl Default for ExperimentConfig {
             repair_delay: SimDuration::from_hours(6),
             drains_per_day: 2.0,
             maintenance_duration: SimDuration::from_hours(2),
+            faults: FaultScript::new(),
             seed: 0xE49,
         }
     }
@@ -87,6 +96,21 @@ pub struct ExperimentStats {
     /// counter values, one per brick, across all regions' owned shards.
     pub final_hotness: Vec<u32>,
     pub hot_threshold: u32,
+    /// Scripted fault windows that opened / closed during the run.
+    pub fault_injections: u64,
+    pub fault_repairs: u64,
+    /// Completed failover migrations across all regions.
+    pub failover_migrations: u64,
+    /// Queries the proxy re-routed to another region (§IV-D failover).
+    pub region_failovers: u64,
+    /// Hosts owning >1 shard of the same table at experiment end — the
+    /// §IV-A anti-collision invariant, measured post-recovery.
+    pub same_table_collisions: u64,
+    /// Order-sensitive digest of the generated table population (names,
+    /// sizes, partition counts). Two runs whose fingerprints match drew
+    /// identical population streams — the fork-stability check used by
+    /// the fault-replay tests.
+    pub population_fingerprint: u64,
 }
 
 impl ExperimentStats {
@@ -122,6 +146,12 @@ enum Event {
     Decommission { region: usize, host: HostId },
     Drain,
     Undrain { region: usize, host: HostId },
+    /// Open scripted fault window `window` (index into the fault script).
+    FaultInject { window: usize },
+    /// Close scripted fault window `window`.
+    FaultRepair { window: usize },
+    /// Retry an in-place restore that found the host not yet restorable.
+    Restore { region: usize, host: HostId },
 }
 
 /// The engine.
@@ -142,6 +172,36 @@ pub struct Experiment {
     drains_denied: u64,
     /// Current data horizon in days (grows with simulated time).
     day_horizon: i64,
+    /// Dedicated stream for fault victim selection (`rng.fork(3)`), so
+    /// fault scripts never perturb the shared in-run stream ordering
+    /// between a healthy and a faulted run of the same seed.
+    fault_rng: SimRng,
+    faults: FaultTimeline<FaultKind>,
+    /// Hosts crashed by each still-open fault window, to restore in place
+    /// at repair time.
+    fault_crashed: BTreeMap<usize, Vec<(usize, HostId)>>,
+    fault_injections: u64,
+    fault_repairs: u64,
+    population_fingerprint: u64,
+}
+
+/// FNV-1a over the population's observable shape (satellite of the
+/// fault-replay tests: proves two runs drew the same population stream).
+fn population_fingerprint(population: &TablePopulation) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |h: &mut u64, byte: u64| {
+        *h ^= byte;
+        *h = h.wrapping_mul(PRIME);
+    };
+    for spec in &population.tables {
+        for b in spec.name.as_bytes() {
+            mix(&mut h, *b as u64);
+        }
+        mix(&mut h, spec.target_bytes);
+        mix(&mut h, spec.partitions as u64);
+    }
+    h
 }
 
 impl Experiment {
@@ -170,6 +230,10 @@ impl Experiment {
             dep.ingest(&spec.name, &rows)
                 .expect("generated rows are valid");
         }
+        // Fork the fault stream *unconditionally*: a healthy run and a
+        // faulted run of the same seed must leave every other stream at
+        // the same position (fork-stability, see `scalewall_sim::rng`).
+        let fault_rng = rng.fork(3);
         let net = NetModel::new(config.net);
         Experiment {
             proxy: CubrickProxy::new(ProxyConfig::default()),
@@ -184,6 +248,12 @@ impl Experiment {
             drains_requested: 0,
             drains_denied: 0,
             day_horizon: config.workload.ds_range,
+            fault_rng,
+            faults: config.faults.timeline(),
+            fault_crashed: BTreeMap::new(),
+            fault_injections: 0,
+            fault_repairs: 0,
+            population_fingerprint: population_fingerprint(&population),
             config,
             dep,
             population,
@@ -207,6 +277,31 @@ impl Experiment {
             let gap = self.next_drain_gap();
             self.queue.schedule_after(gap, Event::Drain);
         }
+        for (i, w) in self.faults.windows().iter().enumerate() {
+            self.queue.schedule_at(w.onset, Event::FaultInject { window: i });
+            self.queue
+                .schedule_at(w.repair_at(), Event::FaultRepair { window: i });
+        }
+    }
+
+    /// Hosts in `region_idx` that are up: process running, SM state Alive.
+    fn alive_hosts(&self, region_idx: usize) -> Vec<HostId> {
+        let region = &self.dep.regions[region_idx];
+        region
+            .nodes
+            .hosts()
+            .filter(|&h| !region.nodes.is_down(h))
+            .filter(|&h| {
+                region.sm.host_state(h) == Some(scalewall_shard_manager::HostState::Alive)
+            })
+            .collect()
+    }
+
+    /// Fault scripts may name regions the (smaller) deployment under test
+    /// does not have; clamp instead of panicking so one script can drive
+    /// a sweep over deployment sizes.
+    fn clamp_region(&self, region: u32) -> usize {
+        (region as usize).min(self.dep.regions.len() - 1)
     }
 
     fn next_failure_gap(&mut self) -> SimDuration {
@@ -404,6 +499,113 @@ impl Experiment {
             Event::Undrain { region, host } => {
                 let _ = self.dep.regions[region].sm.reactivate_host(host, now);
             }
+            Event::FaultInject { window } => {
+                self.faults.advance(now);
+                self.fault_injections += 1;
+                let kind = self.faults.windows()[window].kind;
+                match kind {
+                    FaultKind::HostCrash { region } => {
+                        let region_idx = self.clamp_region(region);
+                        let candidates = self.alive_hosts(region_idx);
+                        if !candidates.is_empty() {
+                            let host = *self.fault_rng.pick(&candidates);
+                            self.dep.fail_host(region_idx, host, now);
+                            self.fault_crashed
+                                .entry(window)
+                                .or_default()
+                                .push((region_idx, host));
+                        }
+                    }
+                    FaultKind::RackOutage { region, rack } => {
+                        let region_idx = self.clamp_region(region);
+                        let alive = self.alive_hosts(region_idx);
+                        for host in self.dep.hosts_in_rack(region_idx, Rack(rack)) {
+                            if alive.contains(&host) {
+                                self.dep.fail_host(region_idx, host, now);
+                                self.fault_crashed
+                                    .entry(window)
+                                    .or_default()
+                                    .push((region_idx, host));
+                            }
+                        }
+                    }
+                    FaultKind::RegionOutage { region } => {
+                        let region_idx = self.clamp_region(region);
+                        self.dep.regions[region_idx].available = false;
+                    }
+                    FaultKind::RegionPartition { a, b } => self.net.cut(a, b),
+                    FaultKind::DrainStorm { region, drains } => {
+                        let region_idx = self.clamp_region(region);
+                        let mut candidates = self.alive_hosts(region_idx);
+                        self.fault_rng.shuffle(&mut candidates);
+                        let repair_at = self.faults.windows()[window].repair_at();
+                        for host in candidates.into_iter().take(drains as usize) {
+                            self.drains_requested += 1;
+                            let request = scalewall_shard_manager::MaintenanceRequest {
+                                hosts: vec![host],
+                                reason: "drain storm".to_string(),
+                            };
+                            let region = &mut self.dep.regions[region_idx];
+                            match self.automation.submit(
+                                &mut region.sm,
+                                &request,
+                                now,
+                                &mut region.nodes,
+                            ) {
+                                Ok(scalewall_shard_manager::MaintenanceVerdict::Approved {
+                                    ..
+                                }) => {
+                                    self.queue.schedule_at(
+                                        repair_at,
+                                        Event::Undrain {
+                                            region: region_idx,
+                                            host,
+                                        },
+                                    );
+                                }
+                                _ => self.drains_denied += 1,
+                            }
+                        }
+                    }
+                }
+            }
+            Event::FaultRepair { window } => {
+                self.faults.advance(now);
+                self.fault_repairs += 1;
+                match self.faults.windows()[window].kind {
+                    FaultKind::HostCrash { .. } | FaultKind::RackOutage { .. } => {
+                        let crashed = self.fault_crashed.remove(&window).unwrap_or_default();
+                        for (region_idx, host) in crashed {
+                            self.try_restore(region_idx, host, now);
+                        }
+                    }
+                    FaultKind::RegionOutage { region } => {
+                        let region_idx = self.clamp_region(region);
+                        self.dep.regions[region_idx].available = true;
+                    }
+                    FaultKind::RegionPartition { a, b } => self.net.heal(a, b),
+                    // Storm drains undrain on their own schedule.
+                    FaultKind::DrainStorm { .. } => {}
+                }
+            }
+            Event::Restore { region, host } => {
+                self.try_restore(region, host, now);
+            }
+        }
+    }
+
+    /// Restore a fault-crashed host in place, retrying hourly while it is
+    /// still dead (a host that was replaced or decommissioned in the
+    /// meantime is someone else's responsibility — drop the retry).
+    fn try_restore(&mut self, region: usize, host: HostId, now: SimTime) {
+        if self.dep.restore_host(region, host, now) {
+            return;
+        }
+        let still_dead = self.dep.regions[region].sm.host_state(host)
+            == Some(scalewall_shard_manager::HostState::Dead);
+        if still_dead {
+            self.queue
+                .schedule_after(SimDuration::from_hours(1), Event::Restore { region, host });
         }
     }
 
@@ -413,11 +615,15 @@ impl Experiment {
 
         // Fig 4d: bucket completed migrations by finish day.
         let mut migrations = DailyCounter::new();
+        let mut failover_migrations = 0u64;
         for region in &self.dep.regions {
             for m in region.sm.migration_history() {
                 if m.phase == scalewall_shard_manager::MigrationPhase::Done {
                     if let Some(t) = m.finished_at {
                         migrations.incr(t);
+                    }
+                    if m.kind == scalewall_shard_manager::MigrationKind::Failover {
+                        failover_migrations += 1;
                     }
                 }
             }
@@ -456,6 +662,12 @@ impl Experiment {
             drains_denied: self.drains_denied,
             final_hotness,
             hot_threshold,
+            fault_injections: self.fault_injections,
+            fault_repairs: self.fault_repairs,
+            failover_migrations,
+            region_failovers: self.proxy.stats.region_failovers,
+            same_table_collisions: self.dep.same_table_collisions() as u64,
+            population_fingerprint: self.population_fingerprint,
         }
     }
 }

@@ -19,6 +19,8 @@
 //!   generators, Zipf access skew.
 //! * [`experiment`] — the discrete-event experiment engine used by the
 //!   week-long operational figures (4d, 4e, 4f).
+//! * [`fault`] — correlated fault scenarios (rack/region outages,
+//!   inter-region partitions, drain storms) as a replayable script DSL.
 //! * [`wall`] — the analytic scalability-wall model (Figs 1 and 2) plus
 //!   Monte-Carlo cross-check.
 //! * [`report`] — plain-text table/CSV rendering for the bench binaries.
@@ -26,6 +28,7 @@
 pub mod deployment;
 pub mod driver;
 pub mod experiment;
+pub mod fault;
 pub mod net;
 pub mod registry;
 pub mod report;
@@ -34,6 +37,7 @@ pub mod workload;
 
 pub use deployment::{Deployment, DeploymentConfig, RegionState};
 pub use driver::{run_query, QueryOptions, QueryOutcome};
+pub use fault::{FaultKind, FaultScript};
 pub use net::{NetModel, NetModelConfig};
 pub use registry::NodeRegistry;
 pub use wall::{success_ratio, wall_point};

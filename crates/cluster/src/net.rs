@@ -63,11 +63,19 @@ pub enum ServerResponse {
 }
 
 /// The instantiated model.
-#[derive(Debug, Clone, Copy)]
+///
+/// Not `Copy`: the model carries mutable inter-region partition state
+/// (see [`NetModel::cut`]); callers that need an independent model clone
+/// it explicitly.
+#[derive(Debug, Clone)]
 pub struct NetModel {
     config: NetModelConfig,
     latency: TailLatency,
     failure: Bernoulli,
+    /// Currently partitioned region pairs, stored normalized (lo, hi).
+    /// A pair in this set is mutually unreachable: a coordinator in one
+    /// region cannot fan a query out to the other.
+    cuts: std::collections::BTreeSet<(u32, u32)>,
 }
 
 impl NetModel {
@@ -82,11 +90,45 @@ impl NetModel {
                 config.tail_alpha,
             ),
             failure: Bernoulli::new(config.server_failure_probability),
+            cuts: std::collections::BTreeSet::new(),
         }
     }
 
     pub fn config(&self) -> &NetModelConfig {
         &self.config
+    }
+
+    fn pair(a: u32, b: u32) -> (u32, u32) {
+        (a.min(b), a.max(b))
+    }
+
+    /// Sever the inter-region link between `a` and `b` (both directions).
+    pub fn cut(&mut self, a: u32, b: u32) {
+        if a != b {
+            self.cuts.insert(Self::pair(a, b));
+        }
+    }
+
+    /// Restore the inter-region link between `a` and `b`.
+    pub fn heal(&mut self, a: u32, b: u32) {
+        self.cuts.remove(&Self::pair(a, b));
+    }
+
+    /// Can a coordinator in region `from` reach region `to`? Intra-region
+    /// traffic is never partitioned by this model.
+    pub fn reachable(&self, from: u32, to: u32) -> bool {
+        from == to || !self.cuts.contains(&Self::pair(from, to))
+    }
+
+    /// Any inter-region links currently severed?
+    pub fn partitioned(&self) -> bool {
+        !self.cuts.is_empty()
+    }
+
+    /// Cost of discovering a region is unreachable: the client burns one
+    /// connection-establishment round trip before giving up on the region.
+    pub fn unreachable_probe(&self) -> SimDuration {
+        self.rtt()
     }
 
     /// One server's response to one sub-query.
@@ -177,6 +219,25 @@ mod tests {
             p99_32 > p99_1 * 1.5,
             "fan-out 1: {p99_1}, fan-out 32: {p99_32}"
         );
+    }
+
+    #[test]
+    fn partitions_cut_and_heal_symmetrically() {
+        let mut m = model(0.0);
+        assert!(m.reachable(0, 2));
+        assert!(!m.partitioned());
+        m.cut(2, 0);
+        assert!(!m.reachable(0, 2));
+        assert!(!m.reachable(2, 0), "cuts are bidirectional");
+        assert!(m.reachable(0, 1), "other links unaffected");
+        assert!(m.reachable(2, 2), "intra-region traffic never partitioned");
+        assert!(m.partitioned());
+        m.cut(0, 0); // self-cut is a no-op
+        assert!(m.reachable(0, 0));
+        m.heal(0, 2);
+        assert!(m.reachable(0, 2));
+        assert!(!m.partitioned());
+        assert_eq!(m.unreachable_probe(), m.rtt());
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub enum CubrickError {
     NoAvailableRegion,
     /// A table partition is unavailable in the chosen region.
     PartitionUnavailable { table: String, partition: u32 },
+    /// An inter-region network partition makes the chosen region
+    /// unreachable from the client's region.
+    RegionUnreachable { from: u32, to: u32 },
     /// Dataset exceeds the deployment's maximum table size (the ~1 TB cap
     /// footnoted in §IV-B).
     TableTooLarge { table: String, bytes: u64, cap: u64 },
@@ -82,6 +85,9 @@ impl fmt::Display for CubrickError {
             PartitionUnavailable { table, partition } => {
                 write!(f, "{table}#{partition} unavailable in region")
             }
+            RegionUnreachable { from, to } => {
+                write!(f, "region {to} unreachable from region {from} (network partition)")
+            }
             TableTooLarge { table, bytes, cap } => {
                 write!(f, "{table:?} is {bytes} bytes, over the {cap}-byte cap")
             }
@@ -102,6 +108,7 @@ impl CubrickError {
             CubrickError::ShardNotOwned { .. }
                 | CubrickError::ShardLoading { .. }
                 | CubrickError::PartitionUnavailable { .. }
+                | CubrickError::RegionUnreachable { .. }
                 | CubrickError::Internal { .. }
         )
     }
@@ -123,6 +130,7 @@ mod tests {
             partition: 1
         }
         .proxy_retryable());
+        assert!(CubrickError::RegionUnreachable { from: 0, to: 2 }.proxy_retryable());
         assert!(!CubrickError::Parse {
             detail: "x".into(),
             position: 0

@@ -207,6 +207,18 @@ impl CubrickNode {
         self.forwarding.get(&shard).copied()
     }
 
+    /// Reset the process state after a crash-and-restart (transient host
+    /// outage repaired in place). Cubrick is an in-memory DBMS: a restarted
+    /// node comes back *empty* — ownership, prepared shards and forwarding
+    /// entries are gone, and data is recovered only by SM re-assigning
+    /// shards to it.
+    pub fn reboot(&mut self) {
+        self.owned.clear();
+        self.prepared.clear();
+        self.forwarding.clear();
+        self.queries_served = 0;
+    }
+
     /// The shard-collision veto (§IV-A): would accepting `shard` co-locate
     /// it with another owned shard holding a partition of the same table?
     fn collision_with(&self, shard: u64) -> Option<String> {

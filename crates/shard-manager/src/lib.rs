@@ -54,5 +54,6 @@ pub use ids::{HostId, HostInfo, HostState, Rack, Region, ShardId};
 pub use migration::{
     MigrationCause, MigrationId, MigrationKind, MigrationPhase, MigrationRecord, MigrationTimings,
 };
+pub use placement::SpreadHint;
 pub use server::{SmConfig, SmServer};
 pub use spec::{AppSpec, BalancerConfig, ReplicationMode, Role, SpreadDomain};

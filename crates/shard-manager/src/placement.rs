@@ -38,6 +38,64 @@ pub struct Candidate {
     pub projected: f64,
 }
 
+/// Soft anti-affinity preferences: fault-domain-aware spread for shards
+/// that belong to the same placement group (e.g. all shards carrying
+/// partitions of one table).
+///
+/// Unlike `used_domains`, which is a **hard** same-shard replica
+/// constraint, a hint only reorders candidates: a host (or rack) already
+/// used by the group is deprioritized but still feasible, so placement
+/// degrades gracefully when the group outgrows the topology (racks <
+/// partitions, hosts < partitions). The §IV-A same-table anti-collision
+/// veto at the application layer remains the hard backstop.
+#[derive(Debug, Clone)]
+pub struct SpreadHint {
+    /// Hosts that already hold a shard of the group (avoid: collisions).
+    pub avoid_hosts: Vec<HostId>,
+    /// Failure-domain keys (at `domain_scope`) the group should steer
+    /// clear of — typically the domains holding *more* group members than
+    /// the least-occupied domain, so allocation round-robins and one
+    /// outage never takes out more than a balanced share of the group.
+    pub avoid_domains: Vec<u64>,
+    /// Scope at which `avoid_domains` was computed.
+    pub domain_scope: SpreadDomain,
+}
+
+impl Default for SpreadHint {
+    fn default() -> Self {
+        SpreadHint {
+            avoid_hosts: Vec::new(),
+            avoid_domains: Vec::new(),
+            domain_scope: SpreadDomain::Rack,
+        }
+    }
+}
+
+impl SpreadHint {
+    /// The neutral hint: ranking reduces to plain least-loaded.
+    pub fn none() -> Self {
+        SpreadHint::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.avoid_hosts.is_empty() && self.avoid_domains.is_empty()
+    }
+
+    /// Sort penalty for a host: avoided host (group collision) is worse
+    /// than avoided rack (correlated loss), which is worse than clean.
+    /// Public so callers that randomize within the ranking (placement
+    /// jitter) can keep the draw inside the leading penalty class.
+    pub fn penalty(&self, info: &HostInfo) -> u8 {
+        if self.avoid_hosts.contains(&info.id) {
+            2
+        } else if self.avoid_domains.contains(&info.domain(self.domain_scope)) {
+            1
+        } else {
+            0
+        }
+    }
+}
+
 /// Rank feasible hosts for a replica of weight `weight`, best first.
 ///
 /// Feasibility:
@@ -57,7 +115,34 @@ pub fn rank_candidates(
     used_domains: &[u64],
     excluded: &[HostId],
 ) -> Vec<Candidate> {
-    let mut out: Vec<Candidate> = hosts
+    rank_candidates_hinted(
+        hosts,
+        weight,
+        headroom,
+        spread,
+        used_domains,
+        excluded,
+        &SpreadHint::none(),
+    )
+}
+
+/// [`rank_candidates`] with a soft anti-affinity [`SpreadHint`].
+///
+/// The hint never changes the feasible set — it only sorts group-avoided
+/// hosts behind clean ones (penalty, then projected load, then host id),
+/// so when every feasible host is avoided the least-loaded avoided host
+/// still wins (graceful degradation).
+#[allow(clippy::too_many_arguments)]
+pub fn rank_candidates_hinted(
+    hosts: &[HostSnapshot],
+    weight: f64,
+    headroom: f64,
+    spread: SpreadDomain,
+    used_domains: &[u64],
+    excluded: &[HostId],
+    hint: &SpreadHint,
+) -> Vec<Candidate> {
+    let mut out: Vec<(u8, Candidate)> = hosts
         .iter()
         .filter(|h| h.state.placeable())
         .filter(|h| !excluded.contains(&h.info.id))
@@ -66,21 +151,26 @@ pub fn rank_candidates(
             let cap = h.info.capacity * headroom;
             h.load + weight <= cap
         })
-        .map(|h| Candidate {
-            host: h.info.id,
-            projected: if h.info.capacity > 0.0 {
-                (h.load + weight) / h.info.capacity
-            } else {
-                f64::INFINITY
-            },
+        .map(|h| {
+            (
+                hint.penalty(&h.info),
+                Candidate {
+                    host: h.info.id,
+                    projected: if h.info.capacity > 0.0 {
+                        (h.load + weight) / h.info.capacity
+                    } else {
+                        f64::INFINITY
+                    },
+                },
+            )
         })
         .collect();
-    out.sort_by(|a, b| {
-        a.projected
-            .total_cmp(&b.projected)
+    out.sort_by(|(pa, a), (pb, b)| {
+        pa.cmp(pb)
+            .then_with(|| a.projected.total_cmp(&b.projected))
             .then_with(|| a.host.0.cmp(&b.host.0))
     });
-    out
+    out.into_iter().map(|(_, c)| c).collect()
 }
 
 /// Convenience: the single best candidate, if any.
@@ -177,6 +267,46 @@ mod tests {
         let hosts = [snap(1, 0, 0, 0.0, 0.0), snap(2, 1, 0, 100.0, 89.0)];
         let best = best_candidate(&hosts, 1.0, 0.9, SpreadDomain::Host, &[], &[]);
         assert_eq!(best.unwrap().host, HostId(2));
+    }
+
+    #[test]
+    fn hint_reorders_without_shrinking_feasible_set() {
+        let hosts = [
+            snap(1, 0, 0, 100.0, 0.0),
+            snap(2, 0, 0, 100.0, 10.0),
+            snap(3, 1, 0, 100.0, 20.0),
+        ];
+        let hint = SpreadHint {
+            avoid_hosts: vec![HostId(1)],
+            avoid_domains: vec![hosts[0].info.domain(SpreadDomain::Rack)],
+            domain_scope: SpreadDomain::Rack,
+        };
+        let plain = rank_candidates(&hosts, 1.0, 0.9, SpreadDomain::Host, &[], &[]);
+        let hinted =
+            rank_candidates_hinted(&hosts, 1.0, 0.9, SpreadDomain::Host, &[], &[], &hint);
+        // Same feasible set...
+        let mut a: Vec<u64> = plain.iter().map(|c| c.host.0).collect();
+        let mut b: Vec<u64> = hinted.iter().map(|c| c.host.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // ...but clean rack 1 first, avoided-rack host 2 next, avoided
+        // host 1 last (despite being least loaded).
+        let order: Vec<u64> = hinted.iter().map(|c| c.host.0).collect();
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn hint_degrades_gracefully_when_all_hosts_avoided() {
+        let hosts = [snap(1, 0, 0, 100.0, 30.0), snap(2, 1, 0, 100.0, 10.0)];
+        let hint = SpreadHint {
+            avoid_hosts: vec![HostId(1), HostId(2)],
+            avoid_domains: Vec::new(),
+            domain_scope: SpreadDomain::Rack,
+        };
+        let ranked = rank_candidates_hinted(&hosts, 1.0, 0.9, SpreadDomain::Host, &[], &[], &hint);
+        assert_eq!(ranked.len(), 2, "avoided hosts stay feasible");
+        assert_eq!(ranked[0].host, HostId(2), "least-loaded among avoided wins");
     }
 
     #[test]

@@ -31,8 +31,8 @@ use crate::ids::{HostId, HostInfo, HostState, ShardId};
 use crate::migration::{
     MigrationCause, MigrationId, MigrationKind, MigrationPhase, MigrationRecord, MigrationTimings,
 };
-use crate::placement::{rank_candidates, HostSnapshot};
-use crate::spec::{AppSpec, Role};
+use crate::placement::{rank_candidates_hinted, HostSnapshot, SpreadHint};
+use crate::spec::{AppSpec, Role, SpreadDomain};
 
 /// Shared handle to the discovery mapping store.
 pub type SharedDiscovery = Arc<RwLock<MappingStore>>;
@@ -86,11 +86,64 @@ struct AppState {
     assignments: HashMap<ShardId, Vec<(HostId, Role)>>,
     /// Last collected per-shard weights.
     weights: HashMap<ShardId, f64>,
+    /// Optional anti-affinity group per shard (e.g. all shards holding
+    /// partitions of one table). Placement softly spreads a group across
+    /// hosts and racks; see [`SpreadHint`].
+    groups: HashMap<ShardId, u64>,
 }
 
 impl AppState {
     fn weight_of(&self, shard: ShardId, default: f64) -> f64 {
         self.weights.get(&shard).copied().unwrap_or(default)
+    }
+}
+
+/// Soft anti-affinity hint for placing `exclude_shard` of group `group`:
+/// avoid hosts already holding a shard of the group, and (at rack scope)
+/// the failure domains those hosts live in. Best-effort — never shrinks
+/// the feasible set (see `placement.rs`).
+fn group_spread_hint(
+    app: &AppState,
+    hosts: &BTreeMap<HostId, HostEntry>,
+    group: Option<u64>,
+    exclude_shard: ShardId,
+) -> SpreadHint {
+    let Some(group) = group else {
+        return SpreadHint::none();
+    };
+    let mut avoid_hosts: std::collections::BTreeSet<HostId> = std::collections::BTreeSet::new();
+    for (&shard, replicas) in &app.assignments {
+        if shard == exclude_shard || app.groups.get(&shard) != Some(&group) {
+            continue;
+        }
+        for &(h, _) in replicas {
+            avoid_hosts.insert(h);
+        }
+    }
+    // Rack balance, not mere coverage: a rack is avoided when it already
+    // holds strictly more group members than the least-occupied rack, so
+    // sequential allocation round-robins and no rack ever ends up with
+    // more than ⌈members/racks⌉ of the group (the bounded-blast-radius
+    // guarantee a single-rack outage is measured against).
+    let mut rack_members: BTreeMap<u64, u64> = hosts
+        .values()
+        .map(|e| (e.info.domain(SpreadDomain::Rack), 0))
+        .collect();
+    for h in &avoid_hosts {
+        if let Some(e) = hosts.get(h) {
+            *rack_members.entry(e.info.domain(SpreadDomain::Rack)).or_insert(0) += 1;
+        }
+    }
+    let min_members = rack_members.values().copied().min().unwrap_or(0);
+    let avoid_domains: Vec<u64> = rack_members
+        .iter()
+        .filter(|&(_, &n)| n > min_members)
+        .map(|(&d, _)| d)
+        .collect();
+    SpreadHint {
+        avoid_hosts: avoid_hosts.into_iter().collect(),
+        avoid_domains,
+        domain_scope: SpreadDomain::Rack,
     }
 }
 
@@ -164,6 +217,7 @@ impl SmServer {
                 spec,
                 assignments: HashMap::new(),
                 weights: HashMap::new(),
+                groups: HashMap::new(),
             },
         );
         Ok(())
@@ -321,6 +375,23 @@ impl SmServer {
         now: SimTime,
         registry: &mut R,
     ) -> SmResult<Vec<HostId>> {
+        self.allocate_shard_in_group(app_name, shard, weight_hint, None, now, registry)
+    }
+
+    /// [`allocate_shard`](Self::allocate_shard) with an optional
+    /// anti-affinity `group`: shards sharing a group are softly spread
+    /// across hosts and racks (fault-domain-aware placement), degrading
+    /// to plain least-loaded when the group outgrows the topology.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allocate_shard_in_group<R: AppServerRegistry>(
+        &mut self,
+        app_name: &str,
+        shard: ShardId,
+        weight_hint: f64,
+        group: Option<u64>,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<Vec<HostId>> {
         let app = self.app(app_name)?;
         if shard.0 >= app.spec.max_shards {
             return Err(SmError::ShardOutOfRange {
@@ -335,6 +406,7 @@ impl SmServer {
         let spread = app.spec.spread;
         let headroom = app.spec.balancer.capacity_headroom;
         let total = replication.total_replicas();
+        let hint = group_spread_hint(app, &self.hosts, group, shard);
 
         let mut snapshots = self.snapshots();
         let mut placed: Vec<(HostId, Role)> = Vec::with_capacity(total as usize);
@@ -344,19 +416,39 @@ impl SmServer {
         for i in 0..total {
             let role = replication.role_of(i);
             loop {
-                let candidates = rank_candidates(
+                let candidates = rank_candidates_hinted(
                     &snapshots,
                     weight_hint,
                     headroom,
                     spread,
                     &used_domains,
                     &vetoed,
+                    &hint,
                 );
+                // Jitter randomizes among the least-loaded candidates but
+                // never escapes the leading penalty class — otherwise it
+                // would trade away the group's rack-spread guarantee.
+                let class_len = if hint.is_empty() {
+                    candidates.len()
+                } else {
+                    let pen = |h: HostId| {
+                        snapshots
+                            .iter()
+                            .find(|s| s.info.id == h)
+                            .map(|s| hint.penalty(&s.info))
+                            .unwrap_or(0)
+                    };
+                    let first = candidates.first().map(|c| pen(c.host)).unwrap_or(0);
+                    candidates
+                        .iter()
+                        .take_while(|c| pen(c.host) == first)
+                        .count()
+                };
                 let jitter = self
                     .config
                     .placement_jitter
                     .max(1)
-                    .min(candidates.len().max(1));
+                    .min(class_len.max(1));
                 let pick = if jitter > 1 {
                     self.rng.below(jitter as u64) as usize
                 } else {
@@ -427,6 +519,9 @@ impl SmServer {
         let hosts: Vec<HostId> = placed.iter().map(|&(h, _)| h).collect();
         let app = self.app_mut(app_name)?;
         app.weights.insert(shard, weight_hint);
+        if let Some(g) = group {
+            app.groups.insert(shard, g);
+        }
         app.assignments.insert(shard, placed);
         for &h in &hosts {
             self.load_delta(h, weight_hint);
@@ -448,10 +543,10 @@ impl SmServer {
         let Some(replicas) = app.assignments.remove(&shard) else {
             return Err(SmError::NotAssigned { shard });
         };
-        let weight = app
-            .weights
-            .remove(&shard)
-            .unwrap_or(self.config.default_shard_weight);
+        let default_w = self.config.default_shard_weight;
+        let app = self.app_mut(app_name)?;
+        let weight = app.weights.remove(&shard).unwrap_or(default_w);
+        app.groups.remove(&shard);
         for &(h, _) in &replicas {
             self.load_delta(h, -weight);
         }
@@ -468,6 +563,14 @@ impl SmServer {
             .write()
             .publish(ShardKey::new(app_name.to_string(), shard.0), None, now);
         Ok(())
+    }
+
+    /// Anti-affinity group of a shard, if it was allocated with one.
+    pub fn shard_group(&self, app_name: &str, shard: ShardId) -> Option<u64> {
+        self.apps
+            .get(app_name)
+            .and_then(|a| a.groups.get(&shard))
+            .copied()
     }
 
     /// Current replica set for a shard (role order).
@@ -701,14 +804,26 @@ impl SmServer {
                     .collect()
             })
             .unwrap_or_default();
+        // Keep the group's fault-domain spread through failovers too: a
+        // recovery target should not collect a second shard of the table
+        // (the app would veto it anyway) nor re-concentrate the group in
+        // one rack.
+        let hint = group_spread_hint(app, &self.hosts, app.groups.get(&shard).copied(), shard);
 
         let snapshots = self.snapshots();
         let mut vetoed: Vec<HostId> = vec![dead];
         let bytes = weight.max(0.0) as u64;
 
         loop {
-            let candidates =
-                rank_candidates(&snapshots, weight, headroom, spread, &used_domains, &vetoed);
+            let candidates = rank_candidates_hinted(
+                &snapshots,
+                weight,
+                headroom,
+                spread,
+                &used_domains,
+                &vetoed,
+                &hint,
+            );
             let Some(best) = candidates.first().copied() else {
                 return Err(SmError::NoFeasibleHost {
                     shard,
@@ -983,9 +1098,37 @@ impl SmServer {
                 self.pending_failovers.push((app_name.clone(), shard));
             }
         }
-        // Orphaned migration shards whose assignment does not reference the
-        // dead host still need their state republished.
+        // Orphaned migration shards: if the aborted migration was itself a
+        // failover (or drain) off a *still-dead* source — i.e. the shard's
+        // assignment continues to reference a dead host because the
+        // recovery target just died mid-copy — the shard would otherwise
+        // wedge forever: nothing re-queues it and `remove_host` on the old
+        // source keeps failing with "host still holds assignments".
+        // Re-queue those for the tick-time failover retry; everything else
+        // just needs its (unchanged) state republished.
         for (app_name, shard) in orphaned {
+            let wedged = self
+                .apps
+                .get(&app_name)
+                .and_then(|a| a.assignments.get(&shard))
+                .is_some_and(|replicas| {
+                    replicas.iter().any(|(h, _)| {
+                        self.hosts
+                            .get(h)
+                            .is_some_and(|e| e.state == HostState::Dead)
+                    })
+                });
+            let in_flight = self
+                .active
+                .values()
+                .any(|m| !m.is_finished() && m.app == app_name && m.shard == shard);
+            let queued = self
+                .pending_failovers
+                .iter()
+                .any(|(a, s)| *a == app_name && *s == shard);
+            if wedged && !in_flight && !queued {
+                self.pending_failovers.push((app_name.clone(), shard));
+            }
             self.publish(&app_name, shard, now);
         }
         Ok(())
@@ -1059,15 +1202,25 @@ impl SmServer {
             let weight = self.apps[&app_name].weight_of(shard, self.config.default_shard_weight);
             let spread = self.apps[&app_name].spec.spread;
             let headroom = self.apps[&app_name].spec.balancer.capacity_headroom;
+            // Preserve the group's rack spread across drains as well.
+            let hint = group_spread_hint(
+                &self.apps[&app_name],
+                &self.hosts,
+                self.apps[&app_name].groups.get(&shard).copied(),
+                shard,
+            );
             let snapshots = self.snapshots();
-            let Some(best) = crate::placement::best_candidate(
+            let Some(best) = rank_candidates_hinted(
                 &snapshots,
                 weight,
                 headroom,
                 spread,
                 &[],
                 &[host],
-            ) else {
+                &hint,
+            )
+            .into_iter()
+            .next() else {
                 continue; // retried by a later drain pass
             };
             if self
@@ -1086,6 +1239,58 @@ impl SmServer {
             }
         }
         Ok(moved)
+    }
+
+    /// A dead host's process restarted on the *same* hardware: bring it
+    /// back to service keeping whatever assignments still reference it
+    /// (transient outage repair — unlike the fail → drain → decommission
+    /// → replace path, which swaps hardware and requires the host to be
+    /// empty first). For each retained shard the application server is
+    /// asked to `add_shard` again (it reloads shard data from upstream)
+    /// and the discovery entry withdrawn at failure time is republished.
+    /// Queued failovers for those shards dissolve on the next tick, since
+    /// their assignments no longer reference a dead host. Returns the
+    /// retained `(app, shard)` pairs, in deterministic order.
+    pub fn rejoin_host<R: AppServerRegistry>(
+        &mut self,
+        host: HostId,
+        now: SimTime,
+        registry: &mut R,
+    ) -> SmResult<Vec<(Arc<str>, ShardId)>> {
+        let entry = self.hosts.get(&host).ok_or(SmError::UnknownHost { host })?;
+        if entry.state != HostState::Dead {
+            return Err(SmError::BadHostState {
+                host,
+                reason: "only dead hosts can rejoin",
+            });
+        }
+        self.reactivate_host(host, now)?;
+        let mut retained: Vec<(Arc<str>, ShardId)> = self
+            .apps
+            .iter()
+            .flat_map(|(name, app)| {
+                app.assignments
+                    .iter()
+                    .filter(|(_, replicas)| replicas.iter().any(|(h, _)| *h == host))
+                    .map(|(&s, _)| (name.clone(), s))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        retained.sort();
+        for (app_name, shard) in &retained {
+            if let Some(server) = registry.server(host) {
+                // The assignment already exists, so this is a reload of a
+                // placement that was legal before the crash — not a new
+                // placement decision the application could veto.
+                let _ = server.add_shard(ShardContext {
+                    shard: *shard,
+                    reason: AddShardReason::NewAllocation,
+                    source: Some(host),
+                });
+            }
+            self.publish(app_name, *shard, now);
+        }
+        Ok(retained)
     }
 
     /// Return a draining (or previously failed, now recovered) host to

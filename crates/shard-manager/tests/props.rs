@@ -4,7 +4,9 @@
 
 use scalewall_shard_manager::app_server::{AppServer, AppServerRegistry, MockAppServer};
 use scalewall_shard_manager::balancer::{fleet_stats, propose_rebalance};
-use scalewall_shard_manager::placement::{rank_candidates, HostSnapshot};
+use scalewall_shard_manager::placement::{
+    rank_candidates, rank_candidates_hinted, HostSnapshot, SpreadHint,
+};
 use scalewall_shard_manager::{
     AppSpec, BalancerConfig, HostId, HostInfo, HostState, Rack, Region, ShardId, SmConfig,
     SmServer, SpreadDomain,
@@ -258,6 +260,250 @@ fn allocation_consistency() {
             let total: f64 = (0..hosts).map(|i| sm.host_load(HostId(i))).sum();
             let expected = shard_ids.len() as f64 * replicas as f64;
             assert!((total - expected).abs() < 1e-6, "{total} vs {expected}");
+        },
+    );
+}
+
+// ------------------------------------- fault-domain-aware placement (ISSUE 2)
+
+/// A [`SpreadHint`] is advisory only: hinted ranking returns exactly the
+/// same feasible set as plain ranking, the winner always has the minimal
+/// penalty among feasible hosts, and within one penalty class candidates
+/// stay sorted by projected load. Random snapshots, random hints.
+#[test]
+fn hinted_ranking_reorders_but_never_filters() {
+    prop::check(
+        "hinted_ranking_reorders_but_never_filters",
+        |rng| {
+            let hosts = gen_snapshots(rng);
+            let avoid_hosts: Vec<u64> = hosts
+                .iter()
+                .filter(|_| gen::any_bool(rng))
+                .map(|h| h.info.id.0)
+                .collect();
+            let avoid_domains: Vec<u64> = hosts
+                .iter()
+                .filter(|_| gen::any_bool(rng))
+                .map(|h| h.info.domain(SpreadDomain::Rack))
+                .collect();
+            let weight = gen::f64_in(rng, 0.1, 200.0);
+            (hosts, avoid_hosts, avoid_domains, weight)
+        },
+        |(hosts, avoid_hosts, avoid_domains, weight)| {
+            let hint = SpreadHint {
+                avoid_hosts: avoid_hosts.iter().map(|&h| HostId(h)).collect(),
+                avoid_domains: avoid_domains.clone(),
+                domain_scope: SpreadDomain::Rack,
+            };
+            let plain = rank_candidates(hosts, *weight, 0.9, SpreadDomain::Rack, &[], &[]);
+            let hinted =
+                rank_candidates_hinted(hosts, *weight, 0.9, SpreadDomain::Rack, &[], &[], &hint);
+
+            // (a) the feasible set is untouched.
+            let mut a: Vec<u64> = plain.iter().map(|c| c.host.0).collect();
+            let mut b: Vec<u64> = hinted.iter().map(|c| c.host.0).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "the hint must never change the feasible set");
+
+            let penalty = |id: HostId| -> u8 {
+                let info = &hosts.iter().find(|h| h.info.id == id).unwrap().info;
+                if avoid_hosts.contains(&id.0) {
+                    2
+                } else if avoid_domains.contains(&info.domain(SpreadDomain::Rack)) {
+                    1
+                } else {
+                    0
+                }
+            };
+            // (b) the winner is as clean as any feasible host gets.
+            if let Some(first) = hinted.first() {
+                let best = hinted.iter().map(|c| penalty(c.host)).min().unwrap();
+                assert_eq!(penalty(first.host), best, "winner has minimal penalty");
+            }
+            // (c) penalty classes are contiguous and load-sorted inside.
+            let mut last: Option<(u8, f64)> = None;
+            for c in &hinted {
+                let p = penalty(c.host);
+                if let Some((lp, lproj)) = last {
+                    assert!(p >= lp, "penalty classes must be contiguous");
+                    if p == lp {
+                        assert!(c.projected >= lproj - 1e-12, "load-sorted within class");
+                    }
+                }
+                last = Some((p, c.projected));
+            }
+        },
+    );
+}
+
+/// Shared body for the group-spread property and its pinned regressions:
+/// allocate `shards` group members over hosts with the given rack labels,
+/// then check host- and rack-spread are as good as the topology allows.
+fn check_group_spread(host_racks: &[u32], shards: u64) {
+    let mut sm = SmServer::standalone(SmConfig::default());
+    sm.register_app(AppSpec::primary_only("app", 1_000)).unwrap();
+    let mut fleet = Fleet::default();
+    for (i, &rack) in host_racks.iter().enumerate() {
+        sm.register_host(
+            HostInfo::new(HostId(i as u64), Rack(rack), Region(0), 1e9),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        fleet.0.insert(HostId(i as u64), MockAppServer::with_capacity(1e9));
+    }
+    for s in 0..shards {
+        sm.allocate_shard_in_group("app", ShardId(s), 1.0, Some(7), SimTime::ZERO, &mut fleet)
+            .expect("group allocation must not fail while capacity remains");
+    }
+    let hosts_used: BTreeSet<u64> = (0..shards)
+        .map(|s| sm.host_of("app", ShardId(s)).unwrap().0)
+        .collect();
+    let racks_used: BTreeSet<u32> = hosts_used.iter().map(|&h| host_racks[h as usize]).collect();
+    let total_racks: BTreeSet<u32> = host_racks.iter().copied().collect();
+    assert_eq!(
+        hosts_used.len() as u64,
+        shards.min(host_racks.len() as u64),
+        "partitions double up on a host only once every host holds one"
+    );
+    assert_eq!(
+        racks_used.len() as u64,
+        shards.min(total_racks.len() as u64),
+        "partitions share a rack only once every rack holds one"
+    );
+}
+
+/// Fault-domain-aware group allocation over random topologies: a table's
+/// partitions land on distinct hosts and distinct racks for as long as the
+/// topology allows, and keep allocating cleanly once it does not — racks <
+/// partitions (or hosts < partitions) degrades gracefully, never errors.
+#[test]
+fn group_allocation_spreads_across_random_topologies() {
+    prop::check_n(
+        "group_allocation_spreads_across_random_topologies",
+        64,
+        |rng| {
+            let racks = rng.range(1, 6);
+            let host_racks: Vec<u32> = gen::vec_with(rng, 2, 17, |r| r.below(racks) as u32);
+            // Up to twice as many partitions as hosts: exercises both the
+            // spread regime and the degradation regime.
+            let shards = rng.range(1, 2 * host_racks.len() as u64 + 1);
+            (host_racks, shards)
+        },
+        |(host_racks, shards)| check_group_spread(host_racks, *shards),
+    );
+}
+
+/// On a *balanced* topology (r racks × k hosts, shards ≤ hosts), the
+/// count-based rack hint bounds every rack's share of the group at
+/// ⌈shards/racks⌉ — the blast-radius bound fig2b measures under a
+/// single-rack outage.
+#[test]
+fn group_allocation_bounds_rack_share_on_balanced_topologies() {
+    prop::check_n(
+        "group_allocation_bounds_rack_share_on_balanced_topologies",
+        64,
+        |rng| {
+            let racks = rng.range(2, 5);
+            let per_rack = rng.range(2, 7);
+            let shards = rng.range(1, racks * per_rack + 1);
+            // Jitter > 1 must not weaken the bound: the randomized pick
+            // stays inside the leading penalty class.
+            let jitter = rng.range(1, 5) as usize;
+            let seed = rng.next_u64();
+            (racks, per_rack, shards, jitter, seed)
+        },
+        |&(racks, per_rack, shards, jitter, seed)| {
+            let host_racks: Vec<u32> =
+                (0..racks * per_rack).map(|i| (i % racks) as u32).collect();
+            let mut sm = SmServer::standalone(SmConfig {
+                placement_jitter: jitter,
+                seed,
+                ..Default::default()
+            });
+            sm.register_app(AppSpec::primary_only("app", 1_000)).unwrap();
+            let mut fleet = Fleet::default();
+            for (i, &rack) in host_racks.iter().enumerate() {
+                sm.register_host(
+                    HostInfo::new(HostId(i as u64), Rack(rack), Region(0), 1e9),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+                fleet.0.insert(HostId(i as u64), MockAppServer::with_capacity(1e9));
+            }
+            for s in 0..shards {
+                sm.allocate_shard_in_group("app", ShardId(s), 1.0, Some(7), SimTime::ZERO, &mut fleet)
+                    .unwrap();
+            }
+            let mut per_rack_members = vec![0u64; racks as usize];
+            for s in 0..shards {
+                let h = sm.host_of("app", ShardId(s)).unwrap().0;
+                per_rack_members[host_racks[h as usize] as usize] += 1;
+            }
+            let bound = shards.div_ceil(racks);
+            for (r, &n) in per_rack_members.iter().enumerate() {
+                assert!(
+                    n <= bound,
+                    "rack {r} holds {n} of {shards} group members (bound {bound})"
+                );
+            }
+        },
+    );
+}
+
+/// Regression: the fully degenerate topology — one rack, more partitions
+/// than hosts. Rack-spread has nothing to work with and must reduce to
+/// plain least-loaded without erroring or wedging.
+#[test]
+fn regression_group_spread_single_rack_overfull() {
+    check_group_spread(&[0, 0, 0], 6);
+}
+
+/// Regression: unbalanced racks (one big, one tiny). The tiny rack must
+/// still receive a partition before any rack takes its second.
+#[test]
+fn regression_group_spread_unbalanced_racks() {
+    check_group_spread(&[0, 0, 0, 0, 0, 1], 4);
+}
+
+/// The §IV-A collision veto stays the hard backstop under hints: when
+/// every hint-preferred host vetoes the shard, allocation retries on to
+/// the hint-avoided host rather than failing or violating the veto.
+#[test]
+fn veto_overrides_spread_hint() {
+    prop::check_n(
+        "veto_overrides_spread_hint",
+        64,
+        |rng| rng.range(3, 10),
+        |&hosts| {
+            let mut sm = SmServer::standalone(SmConfig::default());
+            sm.register_app(AppSpec::primary_only("app", 1_000)).unwrap();
+            let mut fleet = Fleet::default();
+            for i in 0..hosts {
+                sm.register_host(
+                    HostInfo::new(HostId(i), Rack(i as u32), Region(0), 1e9),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+                fleet.0.insert(HostId(i), MockAppServer::with_capacity(1e9));
+            }
+            // Shard 0 of the group lands on host 0 (all-idle tie breaks by id).
+            sm.allocate_shard_in_group("app", ShardId(0), 1.0, Some(7), SimTime::ZERO, &mut fleet)
+                .unwrap();
+            assert_eq!(sm.host_of("app", ShardId(0)), Some(HostId(0)));
+            // Every *other* host — exactly the ones the spread hint now
+            // prefers — vetoes shard 1.
+            for i in 1..hosts {
+                fleet.0.get_mut(&HostId(i)).unwrap().vetoed.insert(1);
+            }
+            sm.allocate_shard_in_group("app", ShardId(1), 1.0, Some(7), SimTime::ZERO, &mut fleet)
+                .expect("allocation must retry past vetoes onto the avoided host");
+            assert_eq!(
+                sm.host_of("app", ShardId(1)),
+                Some(HostId(0)),
+                "the only non-vetoing host wins despite the hint"
+            );
+            assert!(fleet.0[&HostId(0)].shards.contains_key(&1), "app server agrees");
         },
     );
 }

@@ -1,0 +1,225 @@
+//! Generic fault-scenario scheduling.
+//!
+//! A fault scenario is a set of *windows*: each window opens at an onset
+//! time, holds a domain-specific fault active for a duration, and then
+//! closes with a repair. This module knows nothing about hosts, racks or
+//! regions — the payload is a caller-supplied kind `K` — it only provides
+//! the deterministic bookkeeping every injector needs:
+//!
+//! * a totally ordered timeline of inject/repair transitions, stable under
+//!   equal timestamps (insertion order breaks ties, like [`EventQueue`]);
+//! * per-window phase tracking, so an injector can ask "which windows are
+//!   active at time t" without re-deriving it from raw timestamps;
+//! * replayability: the timeline is a pure function of the windows, and
+//!   any randomness an injector needs (victim selection, storm spacing)
+//!   is drawn from a forked [`SimRng`] stream so sibling streams are
+//!   unperturbed (see `rng.rs` on fork stability).
+//!
+//! [`EventQueue`]: crate::event::EventQueue
+//! [`SimRng`]: crate::rng::SimRng
+
+use crate::time::{SimDuration, SimTime};
+
+/// Lifecycle of one fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPhase {
+    /// Onset has not been reached yet.
+    Pending,
+    /// Injected and not yet repaired.
+    Active,
+    /// Repair time has passed.
+    Repaired,
+}
+
+/// One fault window: `kind` is active during `[onset, onset + duration)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow<K> {
+    pub kind: K,
+    pub onset: SimTime,
+    pub duration: SimDuration,
+}
+
+impl<K> FaultWindow<K> {
+    pub fn new(kind: K, onset: SimTime, duration: SimDuration) -> Self {
+        FaultWindow {
+            kind,
+            onset,
+            duration,
+        }
+    }
+
+    /// The instant the fault is repaired.
+    pub fn repair_at(&self) -> SimTime {
+        self.onset + self.duration
+    }
+
+    /// Is the fault active at `t`? (Half-open: repaired exactly at
+    /// `repair_at()`.)
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.onset && t < self.repair_at()
+    }
+}
+
+/// A single inject or repair transition on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultTransition {
+    pub at: SimTime,
+    /// Index into the scenario's window list.
+    pub window: usize,
+    /// `true` = inject, `false` = repair.
+    pub inject: bool,
+}
+
+/// An ordered fault scenario: windows plus their transition timeline and
+/// current phases.
+#[derive(Debug, Clone)]
+pub struct FaultTimeline<K> {
+    windows: Vec<FaultWindow<K>>,
+    phases: Vec<FaultPhase>,
+    /// Transitions sorted by (time, window index, repair-before-inject at
+    /// equal times so a zero-length window is a no-op, not a leak).
+    transitions: Vec<FaultTransition>,
+    /// Cursor into `transitions`.
+    next: usize,
+}
+
+impl<K> FaultTimeline<K> {
+    pub fn new(windows: Vec<FaultWindow<K>>) -> Self {
+        let mut transitions = Vec::with_capacity(windows.len() * 2);
+        for (i, w) in windows.iter().enumerate() {
+            transitions.push(FaultTransition {
+                at: w.onset,
+                window: i,
+                inject: true,
+            });
+            transitions.push(FaultTransition {
+                at: w.repair_at(),
+                window: i,
+                inject: false,
+            });
+        }
+        // Stable order: time, then repairs before injects (a repair that
+        // coincides with another window's onset must release resources
+        // first), then window index.
+        transitions.sort_by_key(|t| (t.at, t.inject, t.window));
+        let phases = vec![FaultPhase::Pending; windows.len()];
+        FaultTimeline {
+            windows,
+            phases,
+            transitions,
+            next: 0,
+        }
+    }
+
+    pub fn windows(&self) -> &[FaultWindow<K>] {
+        &self.windows
+    }
+
+    pub fn phase(&self, window: usize) -> FaultPhase {
+        self.phases[window]
+    }
+
+    /// Time of the next pending transition, if any.
+    pub fn next_transition_at(&self) -> Option<SimTime> {
+        self.transitions.get(self.next).map(|t| t.at)
+    }
+
+    /// Pop every transition due at or before `now`, updating phases.
+    /// Returns them in timeline order; the caller applies the
+    /// domain-specific effect of each.
+    pub fn advance(&mut self, now: SimTime) -> Vec<FaultTransition> {
+        let mut due = Vec::new();
+        while let Some(t) = self.transitions.get(self.next) {
+            if t.at > now {
+                break;
+            }
+            self.phases[t.window] = if t.inject {
+                FaultPhase::Active
+            } else {
+                FaultPhase::Repaired
+            };
+            due.push(*t);
+            self.next += 1;
+        }
+        due
+    }
+
+    /// Windows currently in [`FaultPhase::Active`].
+    pub fn active(&self) -> impl Iterator<Item = (usize, &FaultWindow<K>)> {
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.phases[*i] == FaultPhase::Active)
+    }
+
+    /// True once every transition has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.transitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn timeline() -> FaultTimeline<&'static str> {
+        FaultTimeline::new(vec![
+            FaultWindow::new("rack", t(100), SimDuration::from_secs(50)),
+            FaultWindow::new("region", t(120), SimDuration::from_secs(10)),
+            FaultWindow::new("partition", t(150), SimDuration::from_secs(25)),
+        ])
+    }
+
+    #[test]
+    fn transitions_fire_in_time_order() {
+        let mut tl = timeline();
+        assert_eq!(tl.next_transition_at(), Some(t(100)));
+        let due = tl.advance(t(130));
+        let kinds: Vec<(usize, bool)> = due.iter().map(|d| (d.window, d.inject)).collect();
+        assert_eq!(kinds, vec![(0, true), (1, true), (1, false)]);
+        assert_eq!(tl.phase(0), FaultPhase::Active);
+        assert_eq!(tl.phase(1), FaultPhase::Repaired);
+        assert_eq!(tl.phase(2), FaultPhase::Pending);
+    }
+
+    #[test]
+    fn repair_sorts_before_coinciding_inject() {
+        // Window 0 repairs exactly when window 1 injects: repair first.
+        let mut tl = FaultTimeline::new(vec![
+            FaultWindow::new("a", t(10), SimDuration::from_secs(10)),
+            FaultWindow::new("b", t(20), SimDuration::from_secs(5)),
+        ]);
+        let due = tl.advance(t(20));
+        let order: Vec<(usize, bool)> = due.iter().map(|d| (d.window, d.inject)).collect();
+        assert_eq!(order, vec![(0, true), (0, false), (1, true)]);
+    }
+
+    #[test]
+    fn active_windows_and_exhaustion() {
+        let mut tl = timeline();
+        tl.advance(t(145));
+        let active: Vec<usize> = tl.active().map(|(i, _)| i).collect();
+        assert_eq!(active, vec![0]); // rack only: region repaired at 120+10
+        tl.advance(t(155));
+        let active: Vec<usize> = tl.active().map(|(i, _)| i).collect();
+        assert_eq!(active, vec![2]); // rack repaired at 150, partition open
+        assert!(!tl.exhausted());
+        tl.advance(t(1_000));
+        assert!(tl.exhausted());
+        assert_eq!(tl.next_transition_at(), None);
+    }
+
+    #[test]
+    fn window_activity_is_half_open() {
+        let w = FaultWindow::new((), t(100), SimDuration::from_secs(50));
+        assert!(!w.active_at(t(99)));
+        assert!(w.active_at(t(100)));
+        assert!(w.active_at(t(149)));
+        assert!(!w.active_at(t(150)));
+        assert_eq!(w.repair_at(), t(150));
+    }
+}

@@ -11,6 +11,9 @@
 //!   same seed always replays the same history.
 //! * [`rng`] — seedable, forkable random source ([`SimRng`]); every stochastic
 //!   process in the workspace draws from one of these.
+//! * [`fault`] — generic fault-scenario windows (onset / duration / repair)
+//!   compiled into a deterministic transition timeline; the substrate for
+//!   correlated-failure injection in higher layers.
 //! * [`dist`] — the parametric families used by the paper's models:
 //!   exponential, normal/log-normal (tail latency), Pareto (heavy tails),
 //!   Zipf (access skew), Bernoulli and Poisson processes (failures).
@@ -26,6 +29,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 pub mod stats;
@@ -36,6 +40,7 @@ pub use dist::{
     Bernoulli, Exponential, LogNormal, Normal, Pareto, PoissonProcess, TailLatency, Zipf,
 };
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{FaultPhase, FaultTimeline, FaultTransition, FaultWindow};
 pub use rng::SimRng;
 pub use stats::{DailyCounter, Histogram, Summary, Welford};
 pub use time::{SimDuration, SimTime};

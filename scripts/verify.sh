@@ -21,4 +21,10 @@ fi
 cargo build --release --offline
 cargo test -q --offline
 
+# Correlated-fault scenario suite (ISSUE 2): replayable rack/region
+# outage, partition, and drain-storm scenarios must stay green, and the
+# fig2b bench binary must not bit-rot (tiny smoke sweep, output dropped).
+cargo test -q --offline --test fault_scenarios
+cargo run --release --offline -p scalewall-bench --bin fig2b_correlated_sweep -- --fast >/dev/null
+
 echo "tier-1 verify: OK (offline)"

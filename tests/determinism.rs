@@ -4,13 +4,18 @@
 
 use scalewall::cluster::deployment::DeploymentConfig;
 use scalewall::cluster::experiment::{Experiment, ExperimentConfig, ExperimentStats};
+use scalewall::cluster::fault::{FaultKind, FaultScript};
 use scalewall::cluster::workload::WorkloadConfig;
-use scalewall::sim::{SimDuration, SimRng};
+use scalewall::sim::{SimDuration, SimRng, SimTime};
 
 /// A small-but-real operational run: multi-region deployment, skewed
 /// query traffic, failures, drains and load balancing, over half a
 /// simulated day.
 fn run_experiment(seed: u64) -> ExperimentStats {
+    run_with_faults(seed, FaultScript::new())
+}
+
+fn run_with_faults(seed: u64, faults: FaultScript) -> ExperimentStats {
     let config = ExperimentConfig {
         deployment: DeploymentConfig {
             regions: 2,
@@ -27,10 +32,27 @@ fn run_experiment(seed: u64) -> ExperimentStats {
         rows_per_table: 200,
         host_mtbf: SimDuration::from_days(10),
         drains_per_day: 6.0,
+        faults,
         seed,
         ..Default::default()
     };
     Experiment::new(config).run()
+}
+
+/// The mid-run fault script used by the fault-replay tests: one host
+/// crash and one inter-region partition, both inside the 12h window.
+fn test_script() -> FaultScript {
+    FaultScript::new()
+        .with(
+            FaultKind::HostCrash { region: 0 },
+            SimTime::from_secs(2 * 3_600),
+            SimDuration::from_hours(1),
+        )
+        .with(
+            FaultKind::RegionPartition { a: 0, b: 1 },
+            SimTime::from_secs(5 * 3_600),
+            SimDuration::from_mins(45),
+        )
 }
 
 /// Every observable stat, reduced to exactly comparable form (floats by
@@ -46,6 +68,12 @@ fn fingerprint(stats: &ExperimentStats) -> Vec<u64> {
         stats.drains_requested,
         stats.drains_denied,
         stats.hot_threshold as u64,
+        stats.fault_injections,
+        stats.fault_repairs,
+        stats.failover_migrations,
+        stats.region_failovers,
+        stats.same_table_collisions,
+        stats.population_fingerprint,
     ];
     if stats.latency.count() > 0 {
         f.push(stats.latency.min().to_bits());
@@ -100,5 +128,43 @@ fn forked_streams_unaffected_by_sibling_draws() {
     assert_eq!(
         seq_a, seq_b,
         "component 2's stream must not depend on component 1's draw count"
+    );
+}
+
+/// Mid-run fault injection must also replay bit-identically: the fault
+/// stream is forked, victim selection is deterministic, and the repair
+/// machinery introduces no hidden nondeterminism.
+#[test]
+fn faulted_experiment_replays_bit_identically() {
+    let a = run_with_faults(0xFA11, test_script());
+    let b = run_with_faults(0xFA11, test_script());
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "faulted run did not replay bit-identically"
+    );
+    assert_eq!(a.fault_injections, 2);
+    assert_eq!(a.fault_repairs, 2);
+}
+
+/// Fork-stability under event injection: the fault scheduler draws all
+/// of its randomness from `rng.fork(3)`, so attaching a fault script to
+/// a seed must not perturb the population stream (`fork(1)`) that every
+/// other stream's experiment design hangs off. The *in-run* histories
+/// legitimately diverge — that is the fault doing its job.
+#[test]
+fn fault_stream_does_not_perturb_workload_streams() {
+    let healthy = run_experiment(0xFA12);
+    let faulted = run_with_faults(0xFA12, test_script());
+    assert_eq!(
+        healthy.population_fingerprint, faulted.population_fingerprint,
+        "fault injection perturbed the population stream"
+    );
+    assert_eq!(healthy.fault_injections, 0);
+    assert_eq!(faulted.fault_injections, 2);
+    assert_ne!(
+        fingerprint(&healthy),
+        fingerprint(&faulted),
+        "the injected faults should leave a visible mark on the history"
     );
 }

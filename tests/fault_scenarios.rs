@@ -1,0 +1,232 @@
+//! Correlated-fault scenario suite (ISSUE 2 satellite 1).
+//!
+//! Each test runs one named fault scenario through the full operational
+//! experiment engine and asserts the three contract points:
+//!
+//! (a) **replayability** — the same seed produces bit-identical stats
+//!     (every test prints its seed, so a failure can be replayed);
+//! (b) **bounded damage** — the retried success ratio stays above the
+//!     analytic lower bound `1 - disrupted_fraction` (even if *every*
+//!     query issued while any fault window was open had failed, success
+//!     could not drop below it; a small slack absorbs edge effects of
+//!     recovery lagging past the repair instant);
+//! (c) **invariant preservation** — zero same-table shard collisions
+//!     (§IV-A) after recovery: neither failover retargeting nor drain
+//!     storms may stack two shards of one table on a host.
+
+use scalewall::cluster::deployment::DeploymentConfig;
+use scalewall::cluster::experiment::{Experiment, ExperimentConfig, ExperimentStats};
+use scalewall::cluster::fault::{FaultKind, FaultScript};
+use scalewall::cluster::workload::WorkloadConfig;
+use scalewall::sim::{SimDuration, SimTime};
+
+const DURATION: SimDuration = SimDuration::from_hours(12);
+
+fn hours(h: u64) -> SimTime {
+    SimTime::from_secs(h * 3_600)
+}
+
+/// A 3-region, 24-hosts-per-region (4 racks of 6) deployment with all
+/// background noise disabled, so the only disturbance is the script.
+fn run_scenario(seed: u64, faults: FaultScript) -> ExperimentStats {
+    let config = ExperimentConfig {
+        deployment: DeploymentConfig {
+            regions: 3,
+            hosts_per_region: 24,
+            racks_per_region: 4,
+            max_shards: 100_000,
+            ..Default::default()
+        },
+        workload: WorkloadConfig {
+            tables: 8,
+            ..Default::default()
+        },
+        duration: DURATION,
+        query_rate: 0.05,
+        rows_per_table: 150,
+        host_mtbf: SimDuration::from_days(3_650),
+        drains_per_day: 0.0,
+        faults,
+        seed,
+        ..Default::default()
+    };
+    Experiment::new(config).run()
+}
+
+/// Every observable stat in exactly comparable form.
+fn fingerprint(stats: &ExperimentStats) -> Vec<u64> {
+    let mut f = vec![
+        stats.queries_ok,
+        stats.queries_failed,
+        stats.latency.count(),
+        stats.latency.mean().to_bits(),
+        stats.latency.quantile(0.5).to_bits(),
+        stats.latency.quantile(0.99).to_bits(),
+        stats.drains_requested,
+        stats.drains_denied,
+        stats.fault_injections,
+        stats.fault_repairs,
+        stats.failover_migrations,
+        stats.region_failovers,
+        stats.same_table_collisions,
+        stats.population_fingerprint,
+    ];
+    f.extend(stats.migrations_per_day.iter().copied());
+    f.extend(stats.repairs_per_day.iter().copied());
+    f.extend(stats.final_hotness.iter().map(|&h| h as u64));
+    f
+}
+
+/// Run the scenario twice and enforce contract points (a)–(c); returns
+/// the stats for scenario-specific assertions.
+fn check_scenario(name: &str, seed: u64, script: FaultScript) -> ExperimentStats {
+    println!("scenario `{name}` seed {seed:#x} — replay with run_scenario({seed:#x}, ...)");
+    let stats = run_scenario(seed, script.clone());
+    let replay = run_scenario(seed, script.clone());
+    assert_eq!(
+        fingerprint(&stats),
+        fingerprint(&replay),
+        "`{name}` did not replay bit-identically from seed {seed:#x}"
+    );
+    let floor = 1.0 - script.disrupted_fraction(DURATION) - 0.02;
+    assert!(
+        stats.success_ratio() >= floor,
+        "`{name}` success {:.4} below analytic floor {floor:.4} (ok {}, failed {})",
+        stats.success_ratio(),
+        stats.queries_ok,
+        stats.queries_failed
+    );
+    assert_eq!(
+        stats.same_table_collisions, 0,
+        "`{name}` left same-table shard collisions after recovery"
+    );
+    let total = stats.queries_ok + stats.queries_failed;
+    assert!(total > 1_000, "`{name}` ran too few queries: {total}");
+    stats
+}
+
+/// A whole rack of region 0 goes dark for two hours. Rack-spread
+/// placement keeps per-table loss bounded, so every lost shard finds a
+/// collision-free failover target and traffic barely notices.
+#[test]
+fn rack_outage_fails_over_and_recovers() {
+    let script = FaultScript::new().with(
+        FaultKind::RackOutage { region: 0, rack: 1 },
+        hours(2),
+        SimDuration::from_hours(2),
+    );
+    let stats = check_scenario("rack_outage", 0xFA017_01, script);
+    assert_eq!(stats.fault_injections, 1);
+    assert_eq!(stats.fault_repairs, 1);
+    assert!(
+        stats.failover_migrations > 0,
+        "a rack outage must trigger failover migrations"
+    );
+}
+
+/// Region 1 becomes unavailable outright; its clients' queries must be
+/// served by the surviving regions for the whole window.
+#[test]
+fn region_outage_reroutes_to_surviving_regions() {
+    let script = FaultScript::new().with(
+        FaultKind::RegionOutage { region: 1 },
+        hours(2),
+        SimDuration::from_hours(2),
+    );
+    let stats = check_scenario("region_outage", 0xFA017_02, script);
+    assert_eq!(stats.fault_injections, 1);
+    assert_eq!(stats.fault_repairs, 1);
+    // No hosts died: nothing to fail over at the shard level, the proxy
+    // absorbs the outage entirely.
+    assert!(
+        stats.success_ratio() > 0.99,
+        "region failover should be near-lossless, got {:.4}",
+        stats.success_ratio()
+    );
+}
+
+/// Region 0 goes down while the 0↔1 link is also cut: region-0 clients
+/// fail over, find their first-choice fallback (region 1) unreachable,
+/// and must retry around the partition to region 2 (§IV-D).
+#[test]
+fn interregion_partition_reroutes_around_cut() {
+    let script = FaultScript::new()
+        .with(
+            FaultKind::RegionOutage { region: 0 },
+            hours(2),
+            SimDuration::from_hours(2),
+        )
+        .with(
+            FaultKind::RegionPartition { a: 0, b: 1 },
+            hours(2),
+            SimDuration::from_hours(2),
+        );
+    let stats = check_scenario("interregion_partition", 0xFA017_03, script);
+    assert_eq!(stats.fault_injections, 2);
+    assert_eq!(stats.fault_repairs, 2);
+    assert!(
+        stats.region_failovers > 0,
+        "the proxy must have retried across the partition at least once"
+    );
+}
+
+/// Four concurrent drain requests hit the automation engine at once. The
+/// §IV-G safety checks bound simultaneous unavailability: at 24 hosts
+/// per region the 10% budget admits two drains and denies the rest.
+#[test]
+fn drain_storm_is_bounded_by_safety_checks() {
+    let script = FaultScript::new().with(
+        FaultKind::DrainStorm {
+            region: 0,
+            drains: 4,
+        },
+        hours(2),
+        SimDuration::from_hours(2),
+    );
+    let stats = check_scenario("drain_storm", 0xFA017_04, script);
+    assert_eq!(stats.drains_requested, 4);
+    assert!(
+        stats.drains_denied >= 1,
+        "the unavailability budget must deny part of the storm"
+    );
+    assert!(
+        stats.drains_requested - stats.drains_denied >= 1,
+        "at least one drain fits the budget and proceeds"
+    );
+    // Drains migrate shards gracefully — client-visible damage ~zero.
+    assert!(stats.success_ratio() > 0.99);
+}
+
+/// Compound scenario: a drain storm in region 2 while region 1 is down
+/// and partitioned from region 0 — region-1 traffic must thread through
+/// the partition into a region that is simultaneously absorbing drains.
+#[test]
+fn partition_during_drain_storm_compound() {
+    let script = FaultScript::new()
+        .with(
+            FaultKind::DrainStorm {
+                region: 2,
+                drains: 3,
+            },
+            SimTime::from_secs(90 * 60),
+            SimDuration::from_hours(3),
+        )
+        .with(
+            FaultKind::RegionOutage { region: 1 },
+            hours(2),
+            SimDuration::from_mins(90),
+        )
+        .with(
+            FaultKind::RegionPartition { a: 1, b: 0 },
+            hours(2),
+            SimDuration::from_mins(90),
+        );
+    let stats = check_scenario("partition_during_drain", 0xFA017_05, script);
+    assert_eq!(stats.fault_injections, 3);
+    assert_eq!(stats.fault_repairs, 3);
+    assert_eq!(stats.drains_requested, 3);
+    assert!(
+        stats.region_failovers > 0,
+        "region-1 clients must have failed over around the cut"
+    );
+}
