@@ -518,7 +518,7 @@ impl Deployment {
     /// this at zero while capacity allows; migrations and failovers must
     /// never introduce one.
     pub fn same_table_collisions(&self) -> usize {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let catalog = self.catalog.read();
         let mut collisions = 0usize;
         for region in &self.regions {
@@ -527,7 +527,7 @@ impl Deployment {
                 let Some(node) = region.nodes.node(host) else {
                     continue;
                 };
-                let mut shards_per_table: HashMap<Arc<str>, u32> = HashMap::new();
+                let mut shards_per_table: BTreeMap<Arc<str>, u32> = BTreeMap::new();
                 for shard in node.owned_shards() {
                     let mut tables: Vec<Arc<str>> = catalog
                         .partitions_of_shard(shard)

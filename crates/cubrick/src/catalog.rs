@@ -7,7 +7,7 @@
 //! implementations use to discover "all table partitions that map to the
 //! shard being migrated" (§IV-E) and to run the collision veto.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use scalewall_sim::sync::RwLock;
@@ -82,7 +82,7 @@ pub struct Catalog {
     tables: BTreeMap<Arc<str>, TableDef>,
     max_shards: u64,
     /// Inverted index: shard → (table, partition) pairs mapped to it.
-    shard_index: HashMap<u64, Vec<(Arc<str>, u32)>>,
+    shard_index: BTreeMap<u64, Vec<(Arc<str>, u32)>>,
 }
 
 impl Catalog {
@@ -93,7 +93,7 @@ impl Catalog {
         Catalog {
             tables: BTreeMap::new(),
             max_shards,
-            shard_index: HashMap::new(),
+            shard_index: BTreeMap::new(),
         }
     }
 

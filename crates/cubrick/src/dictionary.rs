@@ -5,14 +5,14 @@
 //! string dimension operates over these ids, exactly as in Cubrick's
 //! granular-partitioning design.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::{CubrickError, CubrickResult};
 
 /// An insert-ordered string ↔ id dictionary with a capacity bound.
 #[derive(Debug, Clone, Default)]
 pub struct Dictionary {
-    forward: HashMap<String, u32>,
+    forward: BTreeMap<String, u32>,
     reverse: Vec<String>,
     max_cardinality: u32,
 }
@@ -20,7 +20,7 @@ pub struct Dictionary {
 impl Dictionary {
     pub fn new(max_cardinality: u32) -> Self {
         Dictionary {
-            forward: HashMap::new(),
+            forward: BTreeMap::new(),
             reverse: Vec::new(),
             max_cardinality,
         }

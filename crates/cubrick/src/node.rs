@@ -21,7 +21,7 @@
 //! region"). This keeps the whole data path (ingest, scan, compress)
 //! real without simulating byte shipment.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use scalewall_sim::sync::RwLock;
@@ -42,7 +42,7 @@ use crate::value::Row;
 /// A region's authoritative partition data.
 #[derive(Debug, Default)]
 pub struct RegionStore {
-    partitions: HashMap<(Arc<str>, u32), PartitionData>,
+    partitions: BTreeMap<(Arc<str>, u32), PartitionData>,
 }
 
 impl RegionStore {
@@ -147,11 +147,11 @@ pub struct CubrickNode {
     config: NodeConfig,
     catalog: SharedCatalog,
     region_store: SharedRegionStore,
-    owned: HashMap<u64, ShardState>,
+    owned: BTreeMap<u64, ShardState>,
     /// Shards accepted via `prepare_add_shard` but not yet added.
-    prepared: HashSet<u64>,
+    prepared: BTreeSet<u64>,
     /// Shards being forwarded to a new owner (graceful drop pending).
-    forwarding: HashMap<u64, HostId>,
+    forwarding: BTreeMap<u64, HostId>,
     rng: SimRng,
     /// Queries served (operational counter).
     pub queries_served: u64,
@@ -168,9 +168,9 @@ impl CubrickNode {
             config,
             catalog,
             region_store,
-            owned: HashMap::new(),
-            prepared: HashSet::new(),
-            forwarding: HashMap::new(),
+            owned: BTreeMap::new(),
+            prepared: BTreeSet::new(),
+            forwarding: BTreeMap::new(),
             rng,
             queries_served: 0,
         }
@@ -223,7 +223,7 @@ impl CubrickNode {
     /// it with another owned shard holding a partition of the same table?
     fn collision_with(&self, shard: u64) -> Option<String> {
         let catalog = self.catalog.read();
-        let incoming: HashSet<&str> = catalog
+        let incoming: BTreeSet<&str> = catalog
             .partitions_of_shard(shard)
             .iter()
             .map(|(t, _)| t.as_ref())

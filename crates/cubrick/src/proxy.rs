@@ -10,7 +10,7 @@
 //! The proxy holds no query state; the cluster driver calls these policy
 //! methods around its simulated network operations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use scalewall_shard_manager::{HostId, Region};
 use scalewall_sim::{SimDuration, SimRng, SimTime};
@@ -89,8 +89,8 @@ pub struct CubrickProxy {
     config: ProxyConfig,
     /// Cached partition count per table — refreshed from query result
     /// metadata, never by a dedicated round trip.
-    partition_cache: HashMap<String, u32>,
-    blacklist: HashMap<HostId, BlacklistEntry>,
+    partition_cache: BTreeMap<String, u32>,
+    blacklist: BTreeMap<HostId, BlacklistEntry>,
     active_queries: usize,
     pub stats: ProxyStats,
 }
@@ -99,8 +99,8 @@ impl CubrickProxy {
     pub fn new(config: ProxyConfig) -> Self {
         CubrickProxy {
             config,
-            partition_cache: HashMap::new(),
-            blacklist: HashMap::new(),
+            partition_cache: BTreeMap::new(),
+            blacklist: BTreeMap::new(),
             active_queries: 0,
             stats: ProxyStats::default(),
         }

@@ -51,8 +51,8 @@ pub fn execute_partition(
     let mut ordinals_buf: Vec<u32> = vec![0; schema.dimensions.len()];
     // Accumulate on raw ordinals during the scan; decode keys once at the
     // end (decoding per row would dominate the scan).
-    let mut raw_groups: std::collections::HashMap<Vec<u32>, Vec<AggState>> =
-        std::collections::HashMap::new();
+    let mut raw_groups: std::collections::BTreeMap<Vec<u32>, Vec<AggState>> =
+        std::collections::BTreeMap::new();
 
     partition.for_each_matching_brick(&compiled.per_dim, |brick| {
         'row: for r in 0..brick.rows() {

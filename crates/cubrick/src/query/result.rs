@@ -10,7 +10,7 @@
 //! number of partitions per table is always included as part of query
 //! results metadata, and updates the proxy's cache" (§IV-C).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::query::agg::{AggSpec, AggState};
 use crate::value::Value;
@@ -40,7 +40,7 @@ pub struct PartialResult {
     pub aggs: Vec<AggSpec>,
     /// Group key → accumulators (one per agg, spec order). The ungrouped
     /// query uses the single empty key.
-    pub groups: HashMap<Vec<GroupVal>, Vec<AggState>>,
+    pub groups: BTreeMap<Vec<GroupVal>, Vec<AggState>>,
     /// Rows that survived filters on this partition.
     pub rows_scanned: u64,
     /// Current partition count of the table (proxy cache refresh).
@@ -51,7 +51,7 @@ impl PartialResult {
     pub fn new(aggs: Vec<AggSpec>, table_partitions: u32) -> Self {
         PartialResult {
             aggs,
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             rows_scanned: 0,
             table_partitions,
         }

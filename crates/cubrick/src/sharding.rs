@@ -12,7 +12,7 @@
 //! This module implements both mappings plus the collision taxonomy the
 //! paper quantifies in Fig 4a.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The reserved separator between table name and partition index. "`#` is
 /// a special character and thus not allowed as part of table names."
@@ -128,7 +128,7 @@ pub fn collision_census(
         ..Default::default()
     };
     // shard → set of tables using it (for cross-table detection).
-    let mut shard_tables: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut shard_tables: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
     let mut per_table_shards: Vec<Vec<u64>> = Vec::with_capacity(tables.len());
     for (ti, (name, partitions)) in tables.iter().enumerate() {
         let shards = mapping.shards_of_table(name, *partitions, max_shards);

@@ -12,7 +12,7 @@
 //! Evicted(...)          compressed, on simulated SSD  (gen 3 era)
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use scalewall_sim::SimRng;
@@ -57,7 +57,7 @@ pub struct PartitionData {
     space: BrickSpace,
     /// Per-dimension dictionary (string dimensions only).
     dicts: Vec<Option<Dictionary>>,
-    bricks: HashMap<u64, Slot>,
+    bricks: BTreeMap<u64, Slot>,
     rows: u64,
     stats: StoreStats,
 }
@@ -79,7 +79,7 @@ impl PartitionData {
             schema,
             space,
             dicts,
-            bricks: HashMap::new(),
+            bricks: BTreeMap::new(),
             rows: 0,
             stats: StoreStats::default(),
         }

@@ -5,13 +5,13 @@
 //! subscribers observing the world through propagation delay can be served
 //! the value that was visible to *them* at a given time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use scalewall_sim::SimTime;
 
 /// Key of a mapping entry: a shard of a named service.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ShardKey {
     pub service: Arc<str>,
     pub shard: u64,
@@ -52,7 +52,7 @@ const HISTORY: usize = 4;
 /// The authoritative mapping store.
 #[derive(Debug, Default)]
 pub struct MappingStore {
-    entries: HashMap<ShardKey, Vec<MappingUpdate>>, // newest last
+    entries: BTreeMap<ShardKey, Vec<MappingUpdate>>, // newest last
     next_seq: u64,
     publishes: u64,
 }

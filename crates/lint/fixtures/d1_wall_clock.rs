@@ -1,0 +1,11 @@
+//! Seeded D1 violations: wall-clock time and OS threads in what the
+//! lint is told is sim-facing code. `--tier sim` must exit non-zero.
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_wall() -> u128 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    std::thread::spawn(|| {}).join().ok();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,20 @@
+//! Pragma fixture: every seeded violation is suppressed by a scoped,
+//! reasoned pragma. `--tier sim` must exit 0, and the pragma inventory
+//! must list all three allows.
+
+use std::collections::HashMap; // scalewall-lint: allow(D2) -- fixture: point-lookup cache, never iterated
+
+pub struct Cache {
+    // scalewall-lint: allow(D2) -- fixture: same cache, field declaration
+    slots: HashMap<u64, u64>,
+}
+
+impl Cache {
+    pub fn probe_wall(&self) -> u128 {
+        // Stacked pragmas: both govern the next code line.
+        // scalewall-lint: allow(D1) -- fixture: sanctioned wall-clock probe
+        // scalewall-lint: allow(D2) -- fixture: scratch map, never iterated
+        let (t, scratch) = (std::time::Instant::now(), HashMap::<u64, u64>::new());
+        t.elapsed().as_nanos() + scratch.len() as u128 + self.slots.len() as u128
+    }
+}

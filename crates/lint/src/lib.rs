@@ -1,0 +1,814 @@
+//! `scalewall-lint` — the workspace determinism lint.
+//!
+//! The whole reproduction rests on bit-identical replay (`tests/
+//! determinism.rs`, the fault DSL, every golden experiment number). That
+//! contract dies silently the moment a sim-facing code path consults wall
+//! clock time, ambient randomness, or hash-iteration order. This crate
+//! machine-checks the contract on every build instead of rediscovering it
+//! per incident.
+//!
+//! # Rules
+//!
+//! * **D1 — no wall clock / OS threads.** `Instant`, `SystemTime`, and
+//!   `std::thread` are forbidden in sim-facing code. Time comes from
+//!   `SimTime`; concurrency from the event kernel. The sanctioned
+//!   exception is `scalewall_bench::microbench`, the one place wall-clock
+//!   measurement is the point.
+//! * **D2 — no hash-ordered collections.** `HashMap`/`HashSet` are
+//!   forbidden in sim-facing code, *mentions included*: a lexer cannot
+//!   prove a given map is never iterated, so the rule is enforced at the
+//!   type level. Use `BTreeMap`/`BTreeSet` or carry a pragma explaining
+//!   why the map can never leak ordering.
+//! * **D3 — no literal-seeded RNGs.** `SimRng::new(42)` outside
+//!   `crates/sim` breaks the fork discipline (seeds must flow from the
+//!   experiment root so streams stay stable). Construct from config seeds
+//!   or `fork()`.
+//! * **D4 — no `unsafe`.** Outside `sim::sync` (the lock shims), `unsafe`
+//!   has no business in a deterministic simulation.
+//!
+//! `#[cfg(test)]` items are exempt from all rules; integration tests,
+//! examples, and the bench/lint tooling run under a reduced rule set (see
+//! [`ruleset_for`]). Suppression requires a scoped pragma:
+//!
+//! ```text
+//! // scalewall-lint: allow(D2) -- point lookups only, never iterated
+//! ```
+//!
+//! A pragma on its own line covers the next code line; at the end of a
+//! code line it covers that line. Malformed and *unused* pragmas are
+//! themselves violations, so stale allows cannot accumulate.
+
+pub mod lexer;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, Tok, Token};
+
+/// Crates whose `src/` is sim-facing (full rule set).
+pub const SIM_FACING_CRATES: &[&str] =
+    &["sim", "cluster", "cubrick", "shard-manager", "discovery", "zk"];
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Wall-clock time or OS threads in sim-facing code.
+    D1,
+    /// Hash-ordered collection in sim-facing code.
+    D2,
+    /// Literal-seeded RNG construction outside `crates/sim`.
+    D3,
+    /// `unsafe` outside `sim::sync`.
+    D4,
+    /// Malformed or unused suppression pragma.
+    Pragma,
+}
+
+impl RuleId {
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim() {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "D4" => Some(RuleId::D4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+            RuleId::Pragma => "pragma",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which rules apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    pub d1: bool,
+    pub d2: bool,
+    pub d3: bool,
+    pub d4: bool,
+}
+
+impl RuleSet {
+    /// Full sim-facing tier.
+    pub const SIM: RuleSet = RuleSet { d1: true, d2: true, d3: true, d4: true };
+    /// `crates/sim` itself: RNG construction is its job (no D3).
+    pub const SIM_RNG_HOME: RuleSet = RuleSet { d1: true, d2: true, d3: false, d4: true };
+    /// Bench tier: no wall clock outside the sanctioned runner, but hash
+    /// maps and local seeds are fine (bench output sorts explicitly).
+    pub const BENCH: RuleSet = RuleSet { d1: true, d2: false, d3: false, d4: true };
+    /// Integration tests, examples, glue, tooling: only `unsafe` is policed.
+    pub const PLAIN: RuleSet = RuleSet { d1: false, d2: false, d3: false, d4: true };
+
+    fn enables(&self, rule: RuleId) -> bool {
+        match rule {
+            RuleId::D1 => self.d1,
+            RuleId::D2 => self.d2,
+            RuleId::D3 => self.d3,
+            RuleId::D4 => self.d4,
+            RuleId::Pragma => true,
+        }
+    }
+}
+
+/// One unsuppressed rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: RuleId,
+    pub line: u32,
+    pub message: String,
+}
+
+/// One suppression pragma found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaUse {
+    pub line: u32,
+    pub rules: Vec<RuleId>,
+    pub reason: String,
+    /// How many violations this pragma silenced.
+    pub suppressed: usize,
+}
+
+/// Lint results for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    pub path: String,
+    pub violations: Vec<Violation>,
+    pub pragmas: Vec<PragmaUse>,
+}
+
+/// Lint results for a whole workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceReport {
+    pub files: Vec<FileReport>,
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    pub fn violation_count(&self) -> usize {
+        self.files.iter().map(|f| f.violations.len()).sum()
+    }
+
+    pub fn suppressed_count(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.pragmas)
+            .map(|p| p.suppressed)
+            .sum()
+    }
+
+    /// Every pragma in the workspace, as `(path, pragma)` pairs — the
+    /// allow inventory the self-test prints.
+    pub fn pragma_inventory(&self) -> Vec<(&str, &PragmaUse)> {
+        self.files
+            .iter()
+            .flat_map(|f| f.pragmas.iter().map(move |p| (f.path.as_str(), p)))
+            .collect()
+    }
+}
+
+/// Rule set for a workspace-relative path, or `None` to skip the file
+/// entirely (lint fixtures carry seeded violations on purpose).
+pub fn ruleset_for(rel: &str) -> Option<RuleSet> {
+    let rel = rel.replace('\\', "/");
+    if rel.starts_with("crates/lint/fixtures/") {
+        return None;
+    }
+    // Sanctioned files first: most-specific match wins.
+    if rel == "crates/sim/src/sync.rs" {
+        // The lock shims may need `unsafe` (they are the one sanctioned
+        // home for it) but everything else still applies.
+        return Some(RuleSet { d4: false, ..RuleSet::SIM_RNG_HOME });
+    }
+    if rel == "crates/bench/src/microbench.rs" {
+        // The sanctioned wall-clock runner.
+        return Some(RuleSet::PLAIN);
+    }
+    for c in SIM_FACING_CRATES {
+        if rel.starts_with(&format!("crates/{c}/src/")) {
+            return Some(if *c == "sim" { RuleSet::SIM_RNG_HOME } else { RuleSet::SIM });
+        }
+    }
+    if rel.starts_with("crates/bench/src/") {
+        return Some(RuleSet::BENCH);
+    }
+    // Everything else that is Rust: crate tests/, workspace tests/,
+    // examples/, root src/, the lint itself.
+    Some(RuleSet::PLAIN)
+}
+
+// --------------------------------------------------------------- pragmas
+
+const PRAGMA_MARKER: &str = "scalewall-lint:";
+
+struct ParsedPragma {
+    line: u32,
+    rules: Vec<RuleId>,
+    reason: String,
+    error: Option<String>,
+}
+
+/// Doc comments (`///`, `//!`, `/** */`, `/*! */`) never carry pragmas:
+/// they are documentation, and quoting the pragma syntax in them — as
+/// this crate's own module docs do — must not create a live suppression.
+/// (`////…` and `/***…` are plain comments per the Rust reference, as is
+/// the empty `/**/`.)
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && text.len() > 4 && !text.starts_with("/***"))
+        || text.starts_with("/*!")
+}
+
+/// Parse `// scalewall-lint: allow(D1, D2) -- reason` from a comment.
+fn parse_pragma(text: &str, line: u32) -> Option<ParsedPragma> {
+    if is_doc_comment(text) {
+        return None;
+    }
+    let at = text.find(PRAGMA_MARKER)?;
+    let rest = text[at + PRAGMA_MARKER.len()..].trim();
+    let fail = |msg: &str| {
+        Some(ParsedPragma {
+            line,
+            rules: Vec::new(),
+            reason: String::new(),
+            error: Some(msg.to_string()),
+        })
+    };
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return fail("expected `allow(<rule>,…) -- <reason>` after `scalewall-lint:`");
+    };
+    let Some(close) = args.find(')') else {
+        return fail("unclosed `allow(`");
+    };
+    let mut rules = Vec::new();
+    for part in args[..close].split(',') {
+        match RuleId::parse(part) {
+            Some(r) => rules.push(r),
+            None => return fail(&format!("unknown rule {:?} (use D1–D4)", part.trim())),
+        }
+    }
+    if rules.is_empty() {
+        return fail("empty rule list in `allow()`");
+    }
+    let tail = args[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return fail("missing `-- <reason>` after `allow(...)`");
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return fail("empty reason after `--`");
+    }
+    Some(ParsedPragma {
+        line,
+        rules,
+        reason: reason.to_string(),
+        error: None,
+    })
+}
+
+// ----------------------------------------------------- cfg(test) regions
+
+fn punct_at(code: &[&Token], i: usize, c: char) -> bool {
+    matches!(code.get(i), Some(t) if t.tok == Tok::Punct(c))
+}
+
+fn ident_at<'a>(code: &[&'a Token], i: usize) -> Option<&'a str> {
+    match code.get(i) {
+        Some(Token { tok: Tok::Ident(s), .. }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Index just past the bracket group opening at `open` (any of `(`/`[`/
+/// `{`). A single depth counter suffices for well-formed Rust.
+fn skip_group(code: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < code.len() {
+        match code[i].tok {
+            Tok::Punct('(' | '[' | '{') => depth += 1,
+            Tok::Punct(')' | ']' | '}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+/// Mark every code token inside a `#[cfg(test)]`-gated item (attribute
+/// included) as test-only. Any `cfg(...)` whose argument list mentions the
+/// bare ident `test` counts (`cfg(test)`, `cfg(any(test, fuzzing))`, …).
+fn mark_test_regions(code: &[&Token]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(punct_at(code, i, '#') && punct_at(code, i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let attr_end = skip_group(code, i + 1); // one past the `]`
+        let is_cfg_test = ident_at(code, i + 2) == Some("cfg")
+            && code[i + 2..attr_end]
+                .iter()
+                .any(|t| t.tok == Tok::Ident("test".into()));
+        if !is_cfg_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut m = attr_end;
+        while punct_at(code, m, '#') && punct_at(code, m + 1, '[') {
+            m = skip_group(code, m + 1);
+        }
+        // The item ends at the first top-level `;` or the close of the
+        // first top-level `{…}` body.
+        let mut end = code.len();
+        let mut n = m;
+        while n < code.len() {
+            match code[n].tok {
+                Tok::Punct(';') => {
+                    end = n + 1;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    end = skip_group(code, n);
+                    break;
+                }
+                Tok::Punct('(' | '[') => n = skip_group(code, n),
+                _ => n += 1,
+            }
+        }
+        for flag in &mut in_test[i..end] {
+            *flag = true;
+        }
+        i = end;
+    }
+    in_test
+}
+
+// ------------------------------------------------------------ rule scan
+
+struct Candidate {
+    rule: RuleId,
+    line: u32,
+    message: String,
+}
+
+/// Scan the code tokens for rule hits (ignoring suppression and tiering —
+/// the caller filters).
+fn scan_rules(code: &[&Token], in_test: &[bool]) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = Vec::new();
+    let mut push = |rule: RuleId, line: u32, message: String| {
+        // Dedupe per (rule, line): `std::thread::spawn` should report once.
+        if !out.iter().any(|c| c.rule == rule && c.line == line) {
+            out.push(Candidate { rule, line, message });
+        }
+    };
+    for (i, t) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let Tok::Ident(word) = &t.tok else { continue };
+        match word.as_str() {
+            "Instant" | "SystemTime" => push(
+                RuleId::D1,
+                t.line,
+                format!("`{word}` is wall-clock time — use `SimTime` (sim-facing code must not observe the host clock)"),
+            ),
+            "thread"
+                if punct_at(code, i + 1, ':')
+                    && punct_at(code, i + 2, ':')
+                    && ident_at(code, i + 3) == Some("spawn") =>
+            {
+                push(
+                    RuleId::D1,
+                    t.line,
+                    "`thread::spawn` — sim-facing code runs on the deterministic event kernel, not OS threads".to_string(),
+                )
+            }
+            "std"
+                if punct_at(code, i + 1, ':')
+                    && punct_at(code, i + 2, ':')
+                    && ident_at(code, i + 3) == Some("thread") =>
+            {
+                push(
+                    RuleId::D1,
+                    t.line,
+                    "`std::thread` — sim-facing code runs on the deterministic event kernel, not OS threads".to_string(),
+                )
+            }
+            "HashMap" | "HashSet" => push(
+                RuleId::D2,
+                t.line,
+                format!("`{word}` iteration order is nondeterministic — use `BTreeMap`/`BTreeSet` or a sorted collect"),
+            ),
+            "unsafe" => push(
+                RuleId::D4,
+                t.line,
+                "`unsafe` outside `sim::sync` — a deterministic simulation has no business here".to_string(),
+            ),
+            w if w.ends_with("Rng")
+                && punct_at(code, i + 1, ':')
+                && punct_at(code, i + 2, ':')
+                && ident_at(code, i + 3) == Some("new")
+                && punct_at(code, i + 4, '(')
+                && matches!(code.get(i + 5), Some(Token { tok: Tok::Int(_), .. }))
+                && punct_at(code, i + 6, ')') =>
+            {
+                push(
+                    RuleId::D3,
+                    t.line,
+                    format!("literal-seeded `{w}::new(…)` — seeds must flow from the experiment root via `fork()` (scalewall_sim::rng discipline)"),
+                )
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------ per-file
+
+/// Lint one file's source under a rule set.
+pub fn lint_source(src: &str, rules: RuleSet) -> (Vec<Violation>, Vec<PragmaUse>) {
+    let tokens = lex(src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.tok, Tok::Comment(_)))
+        .collect();
+    let in_test = mark_test_regions(&code);
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut pragmas: Vec<PragmaUse> = Vec::new();
+
+    // Lines that carry at least one code token, for pragma scoping.
+    let code_lines: Vec<u32> = {
+        let mut v: Vec<u32> = code.iter().map(|t| t.line).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    // Parse pragmas; each resolves to the line it governs.
+    let mut scopes: Vec<(u32, Vec<RuleId>, usize)> = Vec::new(); // (line, rules, pragma idx)
+    for t in &tokens {
+        let Tok::Comment(text) = &t.tok else { continue };
+        let Some(p) = parse_pragma(text, t.line) else { continue };
+        if let Some(err) = p.error {
+            violations.push(Violation {
+                rule: RuleId::Pragma,
+                line: p.line,
+                message: format!("malformed pragma: {err}"),
+            });
+            continue;
+        }
+        let target = if code_lines.binary_search(&p.line).is_ok() {
+            p.line
+        } else {
+            match code_lines.iter().find(|&&l| l > p.line) {
+                Some(&l) => l,
+                None => p.line, // pragma at EOF governs nothing; reported unused
+            }
+        };
+        scopes.push((target, p.rules.clone(), pragmas.len()));
+        pragmas.push(PragmaUse {
+            line: p.line,
+            rules: p.rules,
+            reason: p.reason,
+            suppressed: 0,
+        });
+    }
+
+    for c in scan_rules(&code, &in_test) {
+        if !rules.enables(c.rule) {
+            continue;
+        }
+        let suppressor = scopes
+            .iter()
+            .find(|(line, rs, _)| *line == c.line && rs.contains(&c.rule));
+        match suppressor {
+            Some(&(_, _, idx)) => pragmas[idx].suppressed += 1,
+            None => violations.push(Violation {
+                rule: c.rule,
+                line: c.line,
+                message: c.message,
+            }),
+        }
+    }
+
+    // A pragma that silenced nothing is stale — make it impossible for
+    // dead allows to accumulate.
+    for p in &pragmas {
+        if p.suppressed == 0 {
+            violations.push(Violation {
+                rule: RuleId::Pragma,
+                line: p.line,
+                message: "unused pragma: it suppresses nothing on its scope line".to_string(),
+            });
+        }
+    }
+
+    violations.sort_by_key(|v| (v.line, v.rule));
+    (violations, pragmas)
+}
+
+/// Lint one file from disk. `rel` is the workspace-relative path used for
+/// tier classification and reporting.
+pub fn lint_file(root: &Path, rel: &str) -> std::io::Result<Option<FileReport>> {
+    let Some(rules) = ruleset_for(rel) else {
+        return Ok(None);
+    };
+    let src = std::fs::read_to_string(root.join(rel))?;
+    let (violations, pragmas) = lint_source(&src, rules);
+    Ok(Some(FileReport {
+        path: rel.to_string(),
+        violations,
+        pragmas,
+    }))
+}
+
+/// Collect workspace `.rs` files (sorted, deterministic).
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, root, &mut files)?;
+        }
+    }
+    let mut report = WorkspaceReport::default();
+    for rel in files {
+        if let Some(file_report) = lint_file(root, &rel)? {
+            report.files_scanned += 1;
+            if !file_report.violations.is_empty() || !file_report.pragmas.is_empty() {
+                report.files.push(file_report);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str, rules: RuleSet) -> Vec<RuleId> {
+        lint_source(src, rules).0.into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn clean_source_is_clean() {
+        let src = "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }\n";
+        assert!(violations(src, RuleSet::SIM).is_empty());
+    }
+
+    #[test]
+    fn d1_flags_instant_and_threads() {
+        assert_eq!(violations("use std::time::Instant;", RuleSet::SIM), [RuleId::D1]);
+        assert_eq!(violations("fn f() { let _ = SystemTime::now(); }", RuleSet::SIM), [RuleId::D1]);
+        assert_eq!(
+            violations("fn f() { std::thread::spawn(|| {}); }", RuleSet::SIM),
+            [RuleId::D1]
+        );
+    }
+
+    #[test]
+    fn d2_flags_hash_collections() {
+        assert_eq!(
+            violations("use std::collections::HashMap;", RuleSet::SIM),
+            [RuleId::D2]
+        );
+        // …but not in the bench tier.
+        assert!(violations("use std::collections::HashMap;", RuleSet::BENCH).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_literal_seeds_only() {
+        assert_eq!(violations("fn f() { let r = SimRng::new(42); }", RuleSet::SIM), [RuleId::D3]);
+        assert!(violations("fn f(s: u64) { let r = SimRng::new(s); }", RuleSet::SIM).is_empty());
+        assert!(violations("fn f() { let r = SimRng::new(cfg.seed); }", RuleSet::SIM).is_empty());
+        // No D3 inside crates/sim's own rule set.
+        assert!(violations("fn f() { let r = SimRng::new(42); }", RuleSet::SIM_RNG_HOME).is_empty());
+    }
+
+    #[test]
+    fn d4_flags_unsafe() {
+        assert_eq!(
+            violations("fn f() { unsafe { std::hint::unreachable_unchecked() } }", RuleSet::PLAIN),
+            [RuleId::D4]
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                use std::time::Instant;
+                fn t() { let _ = std::thread::spawn(|| {}); let _ = SimRng::new(1); }
+            }
+        "#;
+        assert!(violations(src, RuleSet::SIM).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_fn_with_stacked_attrs_is_exempt() {
+        let src = r#"
+            #[cfg(test)]
+            #[allow(dead_code)]
+            fn helper() { let m = HashMap::new(); }
+            fn real() { let m = HashMap::new(); }
+        "#;
+        assert_eq!(violations(src, RuleSet::SIM), [RuleId::D2]);
+    }
+
+    #[test]
+    fn cfg_test_use_statement_is_exempt() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\n";
+        assert!(violations(src, RuleSet::SIM).is_empty());
+    }
+
+    #[test]
+    fn cfg_any_including_test_is_exempt() {
+        let src = "#[cfg(any(test, fuzzing))]\nfn f() { let m = HashMap::new(); }\n";
+        assert!(violations(src, RuleSet::SIM).is_empty());
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_exempt() {
+        let src = "#[cfg(target_os = \"linux\")]\nfn f() { let m = HashMap::new(); }\n";
+        assert_eq!(violations(src, RuleSet::SIM), [RuleId::D2]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = r###"
+            // HashMap Instant unsafe SimRng::new(42)
+            /* HashMap /* Instant */ unsafe */
+            fn f() { let s = "HashMap Instant unsafe"; let r = r#"HashMap"#; }
+        "###;
+        assert!(violations(src, RuleSet::SIM).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_same_line() {
+        let src = "use std::collections::HashMap; // scalewall-lint: allow(D2) -- fixture\n";
+        let (v, p) = lint_source(src, RuleSet::SIM);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].suppressed, 1);
+        assert_eq!(p[0].reason, "fixture");
+    }
+
+    #[test]
+    fn pragma_on_own_line_covers_next_code_line() {
+        let src = "// scalewall-lint: allow(D1) -- sanctioned probe\n\nuse std::time::Instant;\n";
+        let (v, p) = lint_source(src, RuleSet::SIM);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(p[0].suppressed, 1);
+    }
+
+    #[test]
+    fn pragma_does_not_leak_past_its_scope() {
+        let src = "// scalewall-lint: allow(D2) -- first only\nlet a = HashMap::new();\nlet b = HashMap::new();\n";
+        let (v, _) = lint_source(src, RuleSet::SIM);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn pragma_wrong_rule_does_not_suppress() {
+        let src = "use std::collections::HashMap; // scalewall-lint: allow(D1) -- wrong rule\n";
+        let (v, _) = lint_source(src, RuleSet::SIM);
+        // The D2 fires AND the pragma is unused.
+        assert_eq!(
+            v.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            [RuleId::D2, RuleId::Pragma]
+        );
+    }
+
+    #[test]
+    fn malformed_pragma_is_a_violation() {
+        for bad in [
+            "// scalewall-lint: allow(D9) -- nope",
+            "// scalewall-lint: allow(D2)",
+            "// scalewall-lint: allow(D2) --   ",
+            "// scalewall-lint: allow() -- empty",
+            "// scalewall-lint: deny(D2) -- wrong verb",
+        ] {
+            let (v, _) = lint_source(bad, RuleSet::SIM);
+            assert_eq!(v.len(), 1, "{bad}");
+            assert_eq!(v[0].rule, RuleId::Pragma, "{bad}");
+        }
+    }
+
+    #[test]
+    fn unused_pragma_is_a_violation() {
+        let src = "// scalewall-lint: allow(D2) -- stale\nlet x = 1;\n";
+        let (v, _) = lint_source(src, RuleSet::SIM);
+        assert_eq!(v.iter().map(|v| v.rule).collect::<Vec<_>>(), [RuleId::Pragma]);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_pragmas() {
+        // Quoting the pragma syntax in documentation must create neither a
+        // live suppression nor an unused-pragma violation.
+        for src in [
+            "//! // scalewall-lint: allow(D2) -- quoted in module docs\nlet x = 1;\n",
+            "/// // scalewall-lint: allow(D2) -- quoted in item docs\nuse std::collections::HashMap;\n",
+            "/** scalewall-lint: allow(D1) -- quoted in block docs */\nlet x = 1;\n",
+        ] {
+            let (v, p) = lint_source(src, RuleSet::PLAIN);
+            assert!(v.is_empty(), "{src}: {v:?}");
+            assert!(p.is_empty(), "{src}: {p:?}");
+        }
+        // …and a doc-comment "pragma" cannot suppress a real violation.
+        let src = "/// scalewall-lint: allow(D2) -- docs only\nuse std::collections::HashMap;\n";
+        let (v, _) = lint_source(src, RuleSet::SIM);
+        assert_eq!(v.iter().map(|v| v.rule).collect::<Vec<_>>(), [RuleId::D2]);
+    }
+
+    #[test]
+    fn multi_rule_pragma() {
+        let src = "// scalewall-lint: allow(D1, D2) -- both on next line\nuse std::time::Instant; use std::collections::HashMap;\n";
+        let (v, p) = lint_source(src, RuleSet::SIM);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(p[0].suppressed, 2);
+    }
+
+    #[test]
+    fn tiering_matches_layout() {
+        assert_eq!(ruleset_for("crates/cubrick/src/store.rs"), Some(RuleSet::SIM));
+        assert_eq!(ruleset_for("crates/sim/src/rng.rs"), Some(RuleSet::SIM_RNG_HOME));
+        assert_eq!(
+            ruleset_for("crates/sim/src/sync.rs"),
+            Some(RuleSet { d4: false, ..RuleSet::SIM_RNG_HOME })
+        );
+        assert_eq!(ruleset_for("crates/bench/src/microbench.rs"), Some(RuleSet::PLAIN));
+        assert_eq!(ruleset_for("crates/bench/src/figures/fig4a.rs"), Some(RuleSet::BENCH));
+        assert_eq!(ruleset_for("crates/cubrick/tests/props.rs"), Some(RuleSet::PLAIN));
+        assert_eq!(ruleset_for("tests/determinism.rs"), Some(RuleSet::PLAIN));
+        assert_eq!(ruleset_for("crates/lint/src/lib.rs"), Some(RuleSet::PLAIN));
+        assert_eq!(ruleset_for("crates/lint/fixtures/d1_wall_clock.rs"), None);
+    }
+}

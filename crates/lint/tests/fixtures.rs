@@ -1,0 +1,151 @@
+//! Fixture tests: each seeded-violation fixture must trip exactly its
+//! rule, clean fixtures must stay clean, and — the property test —
+//! token-preserving mutations of clean fixtures must stay clean.
+
+use std::path::Path;
+
+use scalewall_lint::{lint_source, RuleId, RuleSet};
+use scalewall_sim::prop;
+use scalewall_sim::SimRng;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rules_hit(src: &str, rules: RuleSet) -> Vec<RuleId> {
+    let (violations, _) = lint_source(src, rules);
+    let mut hit: Vec<RuleId> = violations.iter().map(|v| v.rule).collect();
+    hit.sort();
+    hit.dedup();
+    hit
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let src = fixture("clean.rs");
+    assert_eq!(rules_hit(&src, RuleSet::SIM), Vec::<RuleId>::new());
+}
+
+#[test]
+fn d1_fixture_trips_only_d1() {
+    let src = fixture("d1_wall_clock.rs");
+    assert_eq!(rules_hit(&src, RuleSet::SIM), [RuleId::D1]);
+    let (violations, _) = lint_source(&src, RuleSet::SIM);
+    // Instant, SystemTime (import + uses) and thread::spawn all land.
+    assert!(violations.len() >= 3, "{violations:?}");
+}
+
+#[test]
+fn d2_fixture_trips_only_d2() {
+    let src = fixture("d2_hash_iteration.rs");
+    assert_eq!(rules_hit(&src, RuleSet::SIM), [RuleId::D2]);
+    // The bench tier tolerates hash maps.
+    assert_eq!(rules_hit(&src, RuleSet::BENCH), Vec::<RuleId>::new());
+}
+
+#[test]
+fn d3_fixture_trips_only_d3_and_only_once() {
+    let src = fixture("d3_literal_seed.rs");
+    assert_eq!(rules_hit(&src, RuleSet::SIM), [RuleId::D3]);
+    let (violations, _) = lint_source(&src, RuleSet::SIM);
+    // fork() and config-seeded construction must not be flagged.
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    // Inside crates/sim the same source is legal.
+    assert_eq!(rules_hit(&src, RuleSet::SIM_RNG_HOME), Vec::<RuleId>::new());
+}
+
+#[test]
+fn d4_fixture_trips_in_every_tier() {
+    let src = fixture("d4_unsafe.rs");
+    for rules in [RuleSet::SIM, RuleSet::BENCH, RuleSet::PLAIN] {
+        assert_eq!(rules_hit(&src, rules), [RuleId::D4]);
+    }
+}
+
+#[test]
+fn pragma_fixture_is_clean_with_inventory() {
+    let src = fixture("pragma_allowed.rs");
+    let (violations, pragmas) = lint_source(&src, RuleSet::SIM);
+    assert_eq!(violations, Vec::new());
+    assert_eq!(pragmas.len(), 4);
+    assert!(pragmas.iter().all(|p| p.suppressed > 0), "{pragmas:?}");
+    assert!(pragmas.iter().all(|p| p.reason.starts_with("fixture:") || !p.reason.is_empty()));
+}
+
+// ------------------------------------------------------------- property
+
+/// Insert comment/whitespace noise between the lines of `src` and at
+/// random column-safe points: the token stream (and thus the verdict)
+/// must not change. Mutations are line-based so we never split a token.
+fn mutate_token_preserving(rng: &mut SimRng, src: &str) -> String {
+    let mut out = String::new();
+    for line in src.lines() {
+        // Occasionally prepend a full-line block or line comment with
+        // scary content; both are invisible to the rules.
+        match rng.below(6) {
+            0 => out.push_str("/* noise: HashMap Instant unsafe SimRng::new(1) */\n"),
+            1 => out.push_str("// noise: SystemTime std::thread::spawn HashSet\n"),
+            2 => out.push('\n'),
+            _ => {}
+        }
+        // Random indentation changes are token-preserving.
+        for _ in 0..rng.below(3) {
+            out.push(' ');
+        }
+        out.push_str(line);
+        // Trailing line comment — but never on a line that might host a
+        // pragma already (fixtures' pragmas must stay last on their line).
+        if !line.contains("scalewall-lint:") && rng.chance(0.2) {
+            out.push_str(" // trailing noise: unsafe HashMap");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn prop_token_preserving_mutations_of_clean_fixtures_stay_clean() {
+    let clean = fixture("clean.rs");
+    let pragma = fixture("pragma_allowed.rs");
+    prop::check_n(
+        "lint_clean_fixtures_stable_under_noise",
+        64,
+        move |rng| {
+            let which = rng.below(2);
+            let base = if which == 0 { &clean } else { &pragma };
+            (which, mutate_token_preserving(rng, base))
+        },
+        |(_, mutated)| {
+            let (violations, _) = lint_source(mutated, RuleSet::SIM);
+            assert_eq!(violations, Vec::new(), "mutated source:\n{mutated}");
+        },
+    );
+}
+
+#[test]
+fn prop_seeded_violations_survive_noise() {
+    // The dual property: mutations must not *hide* violations either.
+    let dirty = [
+        (fixture("d1_wall_clock.rs"), RuleId::D1),
+        (fixture("d2_hash_iteration.rs"), RuleId::D2),
+        (fixture("d3_literal_seed.rs"), RuleId::D3),
+        (fixture("d4_unsafe.rs"), RuleId::D4),
+    ];
+    prop::check_n(
+        "lint_dirty_fixtures_stable_under_noise",
+        64,
+        move |rng| {
+            let idx = rng.below(dirty.len() as u64) as usize;
+            let (src, rule) = &dirty[idx];
+            (mutate_token_preserving(rng, src), *rule)
+        },
+        |(mutated, rule)| {
+            let (violations, _) = lint_source(mutated, RuleSet::SIM);
+            assert!(
+                violations.iter().any(|v| v.rule == *rule),
+                "{rule} vanished from mutated source:\n{mutated}"
+            );
+        },
+    );
+}

@@ -7,7 +7,7 @@
 //! best-fitting shard from the most-loaded host (by load fraction) to the
 //! least-loaded feasible host — up to the app's migration throttle.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ids::{HostId, ShardId};
 use crate::placement::HostSnapshot;
@@ -78,9 +78,11 @@ pub fn propose_rebalance(
     shard_locations: &[(ShardId, HostId, f64)],
     config: &BalancerConfig,
 ) -> Vec<BalanceProposal> {
-    // Working copy of loads we mutate as we propose moves.
-    let mut load: HashMap<HostId, f64> = HashMap::with_capacity(hosts.len());
-    let mut capacity: HashMap<HostId, f64> = HashMap::with_capacity(hosts.len());
+    // Working copy of loads we mutate as we propose moves. Ordered maps:
+    // the mean below sums float fractions in iteration order, and donor /
+    // receiver enumeration must not depend on hash layout (lint rule D2).
+    let mut load: BTreeMap<HostId, f64> = BTreeMap::new();
+    let mut capacity: BTreeMap<HostId, f64> = BTreeMap::new();
     for h in hosts {
         if h.state.placeable() && h.info.capacity > 0.0 {
             load.insert(h.info.id, h.load);
@@ -93,7 +95,7 @@ pub fn propose_rebalance(
 
     // Index shards by host, heaviest first (moving big shards converges
     // fastest, mirroring "best-fit decreasing").
-    let mut by_host: HashMap<HostId, Vec<(ShardId, f64)>> = HashMap::new();
+    let mut by_host: BTreeMap<HostId, Vec<(ShardId, f64)>> = BTreeMap::new();
     for &(shard, host, weight) in shard_locations {
         if load.contains_key(&host) {
             by_host.entry(host).or_default().push((shard, weight));
@@ -104,7 +106,7 @@ pub fn propose_rebalance(
     }
 
     let frac =
-        |load: &HashMap<HostId, f64>, h: HostId, cap: &HashMap<HostId, f64>| load[&h] / cap[&h];
+        |load: &BTreeMap<HostId, f64>, h: HostId, cap: &BTreeMap<HostId, f64>| load[&h] / cap[&h];
 
     let mut proposals = Vec::new();
     while proposals.len() < config.max_migrations_per_run {

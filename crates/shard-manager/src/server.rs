@@ -16,7 +16,7 @@
 //! and tracks time ("This workflow excludes SM Server from the data
 //! intensive path", §III-A).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use scalewall_sim::sync::RwLock;
@@ -83,13 +83,13 @@ struct HostEntry {
 struct AppState {
     spec: AppSpec,
     /// Replicas per shard, role order (primary first where applicable).
-    assignments: HashMap<ShardId, Vec<(HostId, Role)>>,
+    assignments: BTreeMap<ShardId, Vec<(HostId, Role)>>,
     /// Last collected per-shard weights.
-    weights: HashMap<ShardId, f64>,
+    weights: BTreeMap<ShardId, f64>,
     /// Optional anti-affinity group per shard (e.g. all shards holding
     /// partitions of one table). Placement softly spreads a group across
     /// hosts and racks; see [`SpreadHint`].
-    groups: HashMap<ShardId, u64>,
+    groups: BTreeMap<ShardId, u64>,
 }
 
 impl AppState {
@@ -160,13 +160,13 @@ pub struct SmServer {
     /// Failovers that found no feasible target; retried on each tick.
     pending_failovers: Vec<(Arc<str>, ShardId)>,
     /// host-id ↔ zk session bookkeeping for heartbeat expiry handling.
-    session_hosts: HashMap<SessionId, HostId>,
+    session_hosts: BTreeMap<SessionId, HostId>,
     rng: SimRng,
     /// Incrementally maintained per-host load (sum of replica weights
     /// across apps). Rebuilt wholesale after metric collection; updated
     /// by deltas on every assignment change. Keeping this cached makes
     /// placement O(hosts) instead of O(total assignments).
-    loads: HashMap<HostId, f64>,
+    loads: BTreeMap<HostId, f64>,
 }
 
 impl SmServer {
@@ -182,8 +182,8 @@ impl SmServer {
             history: Vec::new(),
             next_migration: 0,
             pending_failovers: Vec::new(),
-            session_hosts: HashMap::new(),
-            loads: HashMap::new(),
+            session_hosts: BTreeMap::new(),
+            loads: BTreeMap::new(),
         }
     }
 
@@ -215,9 +215,9 @@ impl SmServer {
             spec.name.clone(),
             AppState {
                 spec,
-                assignments: HashMap::new(),
-                weights: HashMap::new(),
-                groups: HashMap::new(),
+                assignments: BTreeMap::new(),
+                weights: BTreeMap::new(),
+                groups: BTreeMap::new(),
             },
         );
         Ok(())
@@ -334,7 +334,7 @@ impl SmServer {
     fn rebuild_loads(&mut self) {
         self.loads.clear();
         let default_w = self.config.default_shard_weight;
-        let mut loads: HashMap<HostId, f64> = HashMap::with_capacity(self.hosts.len());
+        let mut loads: BTreeMap<HostId, f64> = BTreeMap::new();
         for app in self.apps.values() {
             for (&shard, replicas) in &app.assignments {
                 let w = app.weight_of(shard, default_w);
@@ -1418,6 +1418,8 @@ impl std::fmt::Debug for SmServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
+
     use crate::app_server::MockAppServer;
     use crate::ids::{Rack, Region};
     use crate::spec::{ReplicationMode, SpreadDomain};

@@ -4,7 +4,7 @@
 //! semantics: create-with-parent-check, conditional `set_data`/`delete` on
 //! version, ephemeral ownership by session, and watch firing on mutation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use scalewall_sim::SimTime;
 
@@ -51,9 +51,12 @@ struct Node {
 /// the single consumer via [`ZkStore::drain_events`].
 #[derive(Debug)]
 pub struct ZkStore {
-    nodes: HashMap<String, Node>,
-    sessions: HashMap<SessionId, Session>,
-    watches: HashMap<String, Vec<WatchReg>>,
+    // BTreeMaps, not HashMaps: `expire_sessions` and watch dispatch
+    // iterate these, and the event order they produce is part of the
+    // replay contract (DESIGN.md "Determinism invariants", lint rule D2).
+    nodes: BTreeMap<String, Node>,
+    sessions: BTreeMap<SessionId, Session>,
+    watches: BTreeMap<String, Vec<WatchReg>>,
     pending_events: Vec<WatchEvent>,
     next_session: u64,
     session_config: SessionConfig,
@@ -110,7 +113,7 @@ fn leaf_of(path: &str) -> &str {
 
 impl ZkStore {
     pub fn new(session_config: SessionConfig) -> Self {
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         nodes.insert(
             "/".to_string(),
             Node {
@@ -125,8 +128,8 @@ impl ZkStore {
         );
         ZkStore {
             nodes,
-            sessions: HashMap::new(),
-            watches: HashMap::new(),
+            sessions: BTreeMap::new(),
+            watches: BTreeMap::new(),
             pending_events: Vec::new(),
             next_session: 1,
             session_config,

@@ -18,8 +18,15 @@ if grep -RInE '^\s*(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde|to
     exit 1
 fi
 
+# Zero-tolerance static gates (ISSUE 4):
+#  * `-D warnings` turns every rustc warning into a build failure;
+#  * `scalewall-lint --workspace` enforces the determinism rules D1–D4
+#    (DESIGN.md "Determinism invariants") across the tiered tree.
+export RUSTFLAGS="-D warnings"
+
 cargo build --release --offline
-cargo test -q --offline
+cargo run --release --offline -p scalewall-lint -- --workspace
+cargo test -q --offline --workspace
 
 # Correlated-fault scenario suite (ISSUE 2): replayable rack/region
 # outage, partition, and drain-storm scenarios must stay green, and the

@@ -1,0 +1,56 @@
+//! Workspace determinism gate: run `scalewall-lint` over the live tree
+//! and fail the build on any unsilenced violation.
+//!
+//! This is the machine check behind the replay contract: no sim-facing
+//! code path may smuggle in wall-clock time (D1), hash-iteration order
+//! (D2), private RNG seeds (D3), or `unsafe` (D4). See DESIGN.md
+//! "Determinism invariants" for the rules and the pragma escape hatch.
+
+use std::path::Path;
+
+use scalewall_lint::lint_workspace;
+
+#[test]
+fn workspace_has_zero_unsilenced_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace scan");
+
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan ({} files) — did the walker break?",
+        report.files_scanned
+    );
+
+    // Always print the allow inventory: every suppression in the tree,
+    // with its reason, in one place.
+    let inventory = report.pragma_inventory();
+    println!("pragma allow inventory ({} entries):", inventory.len());
+    for (path, p) in &inventory {
+        let rules: Vec<String> = p.rules.iter().map(|r| r.to_string()).collect();
+        println!(
+            "  {}:{}: allow({}) -- {} [suppressed {}]",
+            path,
+            p.line,
+            rules.join(","),
+            p.reason,
+            p.suppressed
+        );
+    }
+    println!(
+        "scanned {} files, {} suppressed by pragma",
+        report.files_scanned,
+        report.suppressed_count()
+    );
+
+    let mut rendered = String::new();
+    for f in &report.files {
+        for v in &f.violations {
+            rendered.push_str(&format!("  {}:{}: {}: {}\n", f.path, v.line, v.rule, v.message));
+        }
+    }
+    assert_eq!(
+        report.violation_count(),
+        0,
+        "unsilenced determinism-lint violations:\n{rendered}"
+    );
+}

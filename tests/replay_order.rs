@@ -1,0 +1,121 @@
+//! Replay-order regression tests.
+//!
+//! These pin the iteration-order hazards the determinism lint (rule D2)
+//! exists to prevent. Before the `HashMap` → `BTreeMap` conversions, both
+//! scenarios below could diverge between two runs of the same seed: every
+//! `HashMap` instance hashes with its own per-instance key, so two stores
+//! holding identical logical state could iterate — and therefore emit
+//! events or sum floats — in different orders. With ordered maps the
+//! sequences are pinned, and this test would have caught the divergence.
+
+use scalewall::shard_manager::balancer::{propose_rebalance, BalanceProposal};
+use scalewall::shard_manager::ids::{HostId, HostInfo, HostState, Rack, Region, ShardId};
+use scalewall::shard_manager::placement::HostSnapshot;
+use scalewall::shard_manager::spec::BalancerConfig;
+use scalewall::sim::{SimRng, SimTime};
+use scalewall::zk::{NodeKind, WatchEventKind, WatchKind, ZkStore};
+
+// ------------------------------------------------------------------ zk
+
+/// Build a store with `n` sessions, each owning one ephemeral under
+/// `/svc` with a node watch, registering everything in `order`.
+fn store_with_sessions(order: &[u64]) -> ZkStore {
+    let mut zk = ZkStore::default();
+    let t0 = SimTime::from_secs(0);
+    zk.create("/svc", b"", NodeKind::Persistent, None, t0).unwrap();
+    // Session ids are assigned sequentially, so create them all first —
+    // the *registration* order of ephemerals and watches then varies.
+    let max = *order.iter().max().unwrap();
+    let sids: Vec<_> = (0..=max).map(|_| zk.create_session(t0)).collect();
+    for &i in order {
+        let path = format!("/svc/member-{i}");
+        zk.create(&path, b"", NodeKind::Ephemeral, Some(sids[i as usize]), t0)
+            .unwrap();
+        zk.watch(&path, WatchKind::Node, 100 + i).unwrap();
+    }
+    zk.drain_events();
+    zk
+}
+
+#[test]
+fn zk_watch_dispatch_order_is_identical_across_equivalent_stores() {
+    // Same logical state, different construction interleavings: mass
+    // expiry must fire watches in the same order in every store.
+    let orders: [&[u64]; 3] = [&[0, 1, 2, 3], &[3, 2, 1, 0], &[2, 0, 3, 1]];
+    let mut streams = Vec::new();
+    for order in orders {
+        let mut zk = store_with_sessions(order);
+        let expired = zk.expire_sessions(SimTime::from_secs(1_000));
+        assert_eq!(expired.len(), 4);
+        streams.push((expired, zk.drain_events()));
+    }
+    assert_eq!(streams[0], streams[1]);
+    assert_eq!(streams[0], streams[2]);
+}
+
+#[test]
+fn zk_mass_expiry_event_sequence_is_pinned() {
+    // The golden order: sessions expire in session-id order, each firing
+    // the Deleted watch on its ephemeral before the parent's
+    // ChildrenChanged. Any change here is a replay-contract break — see
+    // crates/sim/src/rng.rs for the policy on re-deriving goldens.
+    let mut zk = store_with_sessions(&[1, 3, 0, 2]);
+    zk.expire_sessions(SimTime::from_secs(1_000));
+    let events: Vec<(String, WatchEventKind, u64)> = zk
+        .drain_events()
+        .into_iter()
+        .map(|e| (e.path, e.kind, e.token))
+        .collect();
+    let expect: Vec<(String, WatchEventKind, u64)> = (0..4)
+        .map(|i| {
+            (
+                format!("/svc/member-{i}"),
+                WatchEventKind::Deleted,
+                100 + i,
+            )
+        })
+        .collect();
+    assert_eq!(events, expect);
+}
+
+// ------------------------------------------------------------ balancer
+
+fn snap(id: u64, capacity: f64, load: f64) -> HostSnapshot {
+    HostSnapshot {
+        info: HostInfo::new(HostId(id), Rack(0), Region(0), capacity),
+        state: HostState::Alive,
+        load,
+    }
+}
+
+#[test]
+fn balancer_proposals_are_invariant_under_input_permutation() {
+    // A deliberately tie-heavy fleet: equal capacities, equal weights,
+    // several equally-loaded donors/receivers. Candidate enumeration must
+    // resolve ties by id, never by memory or hash layout.
+    let mut rng = SimRng::new(0xB41A);
+    let hosts: Vec<HostSnapshot> = (0..12)
+        .map(|i| snap(i, 100.0, if i < 4 { 90.0 } else { 10.0 }))
+        .collect();
+    let mut locations: Vec<(ShardId, HostId, f64)> = (0..36)
+        .map(|s| (ShardId(s), HostId(s % 4), 10.0))
+        .collect();
+    let config = BalancerConfig {
+        max_migrations_per_run: 16,
+        ..BalancerConfig::default()
+    };
+
+    let baseline: Vec<BalanceProposal> = propose_rebalance(&hosts, &locations, &config);
+    assert!(!baseline.is_empty(), "scenario must actually rebalance");
+
+    for _ in 0..8 {
+        let mut shuffled_hosts = hosts.clone();
+        rng.shuffle(&mut shuffled_hosts);
+        rng.shuffle(&mut locations);
+        let proposals = propose_rebalance(&shuffled_hosts, &locations, &config);
+        assert_eq!(
+            proposals, baseline,
+            "proposals changed under input permutation"
+        );
+    }
+}
