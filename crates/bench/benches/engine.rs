@@ -172,4 +172,5 @@ fn main() {
     bench_scan(&mut bench);
     bench_codecs(&mut bench);
     bench_brick_compression(&mut bench);
+    bench.finish();
 }

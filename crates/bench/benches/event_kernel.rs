@@ -1,0 +1,242 @@
+//! Event-kernel micro-benchmarks: the calendar-wheel [`EventQueue`]
+//! head-to-head against the retired binary-heap implementation
+//! ([`ReferenceEventQueue`]), plus a fig5-shaped end-to-end wall clock.
+//!
+//! Every benchmark exists in a `wheel_*` / `heap_*` pair over the same
+//! workload, so the checked-in trajectory (`BENCH_event_kernel.json` at
+//! the repo root) records the before/after of the kernel swap directly:
+//!
+//! * `*_schedule_100k` — insert throughput, mixed horizons.
+//! * `*_pop_100k` — drain throughput from a pre-filled queue.
+//! * `*_churn_64k` — steady-state pop-one/schedule-one at depth 64k,
+//!   the regime a 10,000-host simulation actually runs in (heap pays
+//!   O(log n) twice per event here; the wheel stays O(1)).
+//! * `*_drain_same_tick_100k` — `pop_tick` batch delivery of dense
+//!   same-timestamp bursts (fan-out completions land like this).
+//!
+//! Regenerate the trajectory from the repo root with (the bench binary's
+//! cwd is `crates/bench`, hence the absolute path):
+//! `cargo bench -p scalewall-bench --bench event_kernel -- --bench --json "$PWD/BENCH_event_kernel.json"`
+
+use scalewall_bench::figures::fig5;
+use scalewall_bench::microbench::{Bench, Record};
+use scalewall_sim::{EventQueue, ReferenceEventQueue, SimDuration, SimRng, SimTime};
+use std::time::Instant;
+
+/// Pre-generated schedule times: mixed horizons out to one simulated
+/// second, with every fourth event in a same-tick cluster.
+fn times(n: u64) -> Vec<SimTime> {
+    let mut rng = SimRng::new(0xE0_1234);
+    (0..n)
+        .map(|i| {
+            if i % 4 == 0 {
+                SimTime::from_nanos((i % 64) * 1_000_000)
+            } else {
+                SimTime::from_nanos(rng.next_u64() % 1_000_000_000)
+            }
+        })
+        .collect()
+}
+
+fn bench_schedule(c: &mut Bench) {
+    const N: u64 = 100_000;
+    let ts = times(N);
+    let mut group = c.group("event_kernel");
+    group.sample_size(20);
+    group.throughput(N);
+    group.bench_function("wheel_schedule_100k", |b| {
+        b.iter_batched(
+            || EventQueue::<u64>::new(),
+            |mut q| {
+                for (i, &t) in ts.iter().enumerate() {
+                    q.schedule_at(t, i as u64);
+                }
+                q.len()
+            },
+        )
+    });
+    group.bench_function("heap_schedule_100k", |b| {
+        b.iter_batched(
+            || ReferenceEventQueue::<u64>::new(),
+            |mut q| {
+                for (i, &t) in ts.iter().enumerate() {
+                    q.schedule_at(t, i as u64);
+                }
+                q.len()
+            },
+        )
+    });
+    group.finish();
+}
+
+fn bench_pop(c: &mut Bench) {
+    const N: u64 = 100_000;
+    let ts = times(N);
+    let mut group = c.group("event_kernel");
+    group.sample_size(20);
+    group.throughput(N);
+    group.bench_function("wheel_pop_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::<u64>::new();
+                for (i, &t) in ts.iter().enumerate() {
+                    q.schedule_at(t, i as u64);
+                }
+                q
+            },
+            |mut q| {
+                let mut sum = 0u64;
+                while let Some(ev) = q.pop() {
+                    sum = sum.wrapping_add(ev.payload);
+                }
+                sum
+            },
+        )
+    });
+    group.bench_function("heap_pop_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = ReferenceEventQueue::<u64>::new();
+                for (i, &t) in ts.iter().enumerate() {
+                    q.schedule_at(t, i as u64);
+                }
+                q
+            },
+            |mut q| {
+                let mut sum = 0u64;
+                while let Some(ev) = q.pop() {
+                    sum = sum.wrapping_add(ev.payload);
+                }
+                sum
+            },
+        )
+    });
+    group.finish();
+}
+
+/// Steady-state churn at depth `depth`: pop the earliest event and
+/// immediately schedule a replacement a random delay out — one full
+/// schedule+pop kernel cycle per iteration. Delays are pre-generated so
+/// both queues replay the identical op stream. Run at two depths: 64k,
+/// and the ~1M outstanding events a 10,000-host fig5 run actually holds
+/// (where the heap pays O(log n) twice per event with cache misses on
+/// every sift level, and the wheel stays flat).
+fn bench_churn(c: &mut Bench, depth: u64, tag: &str) {
+    let mut rng = SimRng::new(0xC0_5678);
+    let delays: Vec<SimDuration> = (0..8_192)
+        .map(|_| SimDuration::from_nanos(1_000 + rng.next_u64() % 10_000_000))
+        .collect();
+
+    let mut wheel = EventQueue::<u64>::new();
+    let mut heap = ReferenceEventQueue::<u64>::new();
+    for (i, &t) in times(depth).iter().enumerate() {
+        wheel.schedule_at(t, i as u64);
+        heap.schedule_at(t, i as u64);
+    }
+
+    let mut group = c.group("event_kernel");
+    group.sample_size(20);
+    group.throughput(1);
+    let mut i = 0usize;
+    group.bench_function(&format!("wheel_churn_{tag}"), |b| {
+        b.iter(|| {
+            let ev = wheel.pop().expect("churn keeps the queue non-empty");
+            i = (i + 1) % delays.len();
+            wheel.schedule_at(ev.time + delays[i], ev.payload);
+            ev.seq
+        })
+    });
+    let mut j = 0usize;
+    group.bench_function(&format!("heap_churn_{tag}"), |b| {
+        b.iter(|| {
+            let ev = heap.pop().expect("churn keeps the queue non-empty");
+            j = (j + 1) % delays.len();
+            heap.schedule_at(ev.time + delays[j], ev.payload);
+            ev.seq
+        })
+    });
+    group.finish();
+}
+
+/// Dense same-timestamp bursts drained a whole timestamp at a time —
+/// the shape a fan-out query's completions arrive in.
+fn bench_same_tick_drain(c: &mut Bench) {
+    const N: u64 = 100_000;
+    const TICKS: u64 = 100;
+    let mut group = c.group("event_kernel");
+    group.sample_size(20);
+    group.throughput(N);
+    group.bench_function("wheel_drain_same_tick_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::<u64>::new();
+                for i in 0..N {
+                    q.schedule_at(SimTime::from_nanos((1 + i % TICKS) * 1_000_000), i);
+                }
+                q
+            },
+            |mut q| {
+                let mut batch = Vec::new();
+                let mut n = 0usize;
+                while q.pop_tick(&mut batch).is_some() {
+                    n += batch.len();
+                }
+                n
+            },
+        )
+    });
+    group.bench_function("heap_drain_same_tick_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = ReferenceEventQueue::<u64>::new();
+                for i in 0..N {
+                    q.schedule_at(SimTime::from_nanos((1 + i % TICKS) * 1_000_000), i);
+                }
+                q
+            },
+            |mut q| {
+                let mut batch = Vec::new();
+                let mut n = 0usize;
+                while q.pop_tick(&mut batch).is_some() {
+                    n += batch.len();
+                }
+                n
+            },
+        )
+    });
+    group.finish();
+}
+
+/// A fig5-shaped end-to-end run (every query arrival through the
+/// kernel) timed as one wall-clock shot and recorded via `push_record`.
+/// In timing mode this uses a meaningful slice of the figure; in smoke
+/// mode (`cargo test`) a tiny one, so the record schema is always
+/// exercised.
+fn bench_fig5_wall_clock(c: &mut Bench) {
+    let (hosts_per_region, queries): (u32, u64) =
+        if c.timing() { (400, 20_000) } else { (24, 200) };
+    let t0 = Instant::now();
+    let results = fig5::compute_custom(hosts_per_region, &[1, 16, 64], |_| queries);
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    assert_eq!(results.len(), 3);
+    c.push_record(Record {
+        name: format!("event_kernel/fig5_{}hosts_wall_clock", hosts_per_region * 3),
+        mode: if c.timing() { "timed" } else { "smoke" }.to_string(),
+        median_ns: elapsed_ns,
+        min_ns: elapsed_ns,
+        rate_per_sec: Some(3.0 * queries as f64 / (elapsed_ns * 1e-9)),
+        samples: 1,
+        iters_per_sample: 1,
+    });
+}
+
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_schedule(&mut bench);
+    bench_pop(&mut bench);
+    bench_churn(&mut bench, 64_000, "64k");
+    bench_churn(&mut bench, 1_000_000, "1m");
+    bench_same_tick_drain(&mut bench);
+    bench_fig5_wall_clock(&mut bench);
+    bench.finish();
+}

@@ -139,4 +139,5 @@ fn main() {
     bench_discovery(&mut bench);
     bench_event_queue(&mut bench);
     bench_histogram(&mut bench);
+    bench.finish();
 }

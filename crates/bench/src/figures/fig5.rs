@@ -4,6 +4,12 @@
 //! Higher fan-out queries are visibly more susceptible to
 //! non-deterministic tail latency: the median barely moves, the p99/p99.9
 //! lines climb with fan-out (the paper plots the y-axis in log scale).
+//!
+//! The full profile runs the sweep at production-fleet scale: 10,002
+//! simulated hosts and fan-outs extended to 1,024 partitions, with every
+//! query arrival scheduled through the calendar-queue event kernel
+//! (`run_query_series` drives an `EventQueue` of arrivals, so this figure
+//! doubles as the kernel's end-to-end load test — millions of events).
 
 use cubrick::catalog::RowMapping;
 use cubrick::proxy::{CubrickProxy, ProxyConfig};
@@ -18,7 +24,11 @@ use scalewall_sim::{Histogram, SimDuration, SimRng, SimTime, Summary};
 
 use crate::Profile;
 
+/// The paper's sweep (and the fast profile's).
 pub const FANOUTS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Full-profile sweep: four more doublings past the paper's 64, probing
+/// past the wall the calendar-queue kernel unlocked.
+pub const FANOUTS_FULL: [u32; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
 pub struct FanoutResult {
     pub fanout: u32,
@@ -27,16 +37,45 @@ pub struct FanoutResult {
     pub failures: u64,
 }
 
+/// Per-level query budget. The fast profile is fixed (and pinned by
+/// tests); the full profile caps total *subqueries* per level so the
+/// widest fan-outs don't dominate wall clock, with a floor that keeps
+/// p99.9 estimates meaningful.
+fn queries_for(profile: Profile, fanout: u32) -> u64 {
+    match profile {
+        Profile::Fast => 4_000,
+        Profile::Full => (32_000_000 / fanout as u64).clamp(50_000, 1_000_000),
+    }
+}
+
 pub fn compute(profile: Profile) -> Vec<FanoutResult> {
-    let queries_per_level = profile.pick(4_000u64, 1_000_000u64);
+    let (hosts_per_region, fanouts): (u32, &[u32]) = match profile {
+        Profile::Fast => (72, &FANOUTS),
+        // 3 × 3,334 = 10,002 simulated hosts: the fleet scale the paper's
+        // production evaluation ran at.
+        Profile::Full => (3_334, &FANOUTS_FULL),
+    };
+    compute_custom(hosts_per_region, fanouts, |fanout| {
+        queries_for(profile, fanout)
+    })
+}
+
+/// The figure's engine with the scale knobs exposed, so the determinism
+/// suite can replay a fig5-shaped workload at elevated host counts
+/// without paying for the whole sweep.
+pub fn compute_custom(
+    hosts_per_region: u32,
+    fanouts: &[u32],
+    queries_per_level: impl Fn(u32) -> u64,
+) -> Vec<FanoutResult> {
     let mut dep = Deployment::new(DeploymentConfig {
         regions: 3,
-        hosts_per_region: 72,
+        hosts_per_region,
         racks_per_region: 8,
         max_shards: 100_000,
         ..Default::default()
     });
-    for &fanout in &FANOUTS {
+    for &fanout in fanouts {
         dep.create_table(
             &format!("fanout_{fanout}"),
             standard_schema(365),
@@ -49,7 +88,7 @@ pub fn compute(profile: Profile) -> Vec<FanoutResult> {
     }
     let net = NetModel::new(NetModelConfig::default());
     let mut results = Vec::new();
-    for &fanout in &FANOUTS {
+    for &fanout in fanouts {
         let mut proxy = CubrickProxy::new(ProxyConfig::default());
         let mut rng = SimRng::new(0xF165 ^ fanout as u64);
         let query = Query::count_star(format!("fanout_{fanout}"));
@@ -66,7 +105,7 @@ pub fn compute(profile: Profile) -> Vec<FanoutResult> {
             },
             SimTime::from_secs(3_600),
             SimDuration::from_millis(500),
-            queries_per_level,
+            queries_per_level(fanout),
             &mut rng,
             &mut hist,
         );

@@ -10,6 +10,20 @@
 //! mode; any other invocation (notably `cargo test`, which runs bench
 //! targets as smoke tests) executes every benchmark body exactly once so a
 //! broken bench fails the suite without burning minutes of wall clock.
+//!
+//! # Machine-readable output
+//!
+//! Every run also collects structured [`Record`]s, and two extra flags make
+//! the results durable and checkable (this is how the `BENCH_*.json`
+//! trajectory files at the repo root are produced and gated):
+//!
+//! * `--json <path>` — after the run, write all records as a JSON report
+//!   (schema [`SCHEMA`]). Works in smoke mode too (single-shot timings),
+//!   so CI can exercise the full emit path in seconds.
+//! * `--validate <path>` — instead of running benchmarks, parse `<path>`
+//!   with the in-repo JSON parser and verify it is a well-formed report;
+//!   exits non-zero with a diagnostic if not. `scripts/verify.sh` runs
+//!   this over both a fresh smoke emission and the checked-in trajectory.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -19,38 +33,126 @@ const SAMPLE_TARGET: Duration = Duration::from_millis(10);
 /// Warm-up budget per benchmark before samples are taken.
 const WARMUP: Duration = Duration::from_millis(100);
 
+/// Schema tag stamped into (and required of) every JSON report.
+pub const SCHEMA: &str = "scalewall-microbench/v1";
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// `group/function` name.
+    pub name: String,
+    /// `"timed"` (full sampling) or `"smoke"` (single untuned execution).
+    pub mode: String,
+    /// Median time per iteration.
+    pub median_ns: f64,
+    /// Fastest sample's time per iteration.
+    pub min_ns: f64,
+    /// Element throughput at the median, when the group declared one.
+    pub rate_per_sec: Option<f64>,
+    /// Samples collected (1 in smoke mode).
+    pub samples: u32,
+    /// Iterations per sample (1 in smoke mode).
+    pub iters_per_sample: u64,
+}
+
 /// Top-level runner; one per bench binary.
 pub struct Bench {
     timing: bool,
     filter: Option<String>,
+    json_out: Option<String>,
+    records: Vec<Record>,
 }
 
 impl Bench {
-    /// Build from process args: `--bench` selects timing mode; the first
-    /// free argument filters benchmarks by substring.
+    /// Build from process args: `--bench` selects timing mode; `--json
+    /// <path>` emits a JSON report on [`Bench::finish`]; `--validate
+    /// <path>` validates an existing report and exits; the first free
+    /// argument filters benchmarks by substring.
     pub fn from_args() -> Bench {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let timing = args.iter().any(|a| a == "--bench");
-        let filter = args
-            .into_iter()
-            .find(|a| !a.starts_with("--") && a != "--bench");
-        Bench { timing, filter }
+        let mut json_out = None;
+        let mut filter = None;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => json_out = it.next(),
+                "--validate" => {
+                    let path = it.next().unwrap_or_else(|| {
+                        eprintln!("--validate requires a path");
+                        std::process::exit(2);
+                    });
+                    match std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))
+                        .and_then(|text| validate_report(&text))
+                    {
+                        Ok(n) => {
+                            println!("{path}: valid microbench report ({n} records)");
+                            std::process::exit(0);
+                        }
+                        Err(e) => {
+                            eprintln!("{path}: malformed microbench report: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                a if !a.starts_with("--") => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Bench {
+            timing,
+            filter,
+            json_out,
+            records: Vec::new(),
+        }
     }
 
     /// Start a named group of related benchmarks.
     pub fn group(&mut self, name: &str) -> Group<'_> {
         Group {
-            bench: self,
             name: name.to_string(),
+            bench: self,
             sample_size: 20,
             elements: None,
+        }
+    }
+
+    /// Records collected so far (mainly for tests and custom reporters).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Append an externally-measured record (e.g. a whole-figure wall
+    /// clock timed by the bench binary itself rather than via `iter`).
+    pub fn push_record(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Whether this invocation is a timing run (`--bench`).
+    pub fn timing(&self) -> bool {
+        self.timing
+    }
+
+    /// Finish the run: write the JSON report if `--json` was given.
+    /// Panics (failing the bench/test process) if the report cannot be
+    /// written — a silently-missing trajectory file is worse than a
+    /// failure.
+    pub fn finish(self) {
+        if let Some(path) = &self.json_out {
+            let json = render_report(&self.records);
+            // Belt and braces: never emit a report we would not accept.
+            validate_report(&json).expect("emitted report must validate");
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| panic!("cannot write bench report {path}: {e}"));
+            println!("wrote {} records to {path}", self.records.len());
         }
     }
 }
 
 /// A named group of benchmarks sharing throughput/sample settings.
 pub struct Group<'a> {
-    bench: &'a Bench,
+    bench: &'a mut Bench,
     name: String,
     sample_size: u32,
     elements: Option<u64>,
@@ -79,12 +181,30 @@ impl Group<'_> {
             }
         }
         if !self.bench.timing {
-            // Smoke mode (`cargo test`): execute the body once, no timing.
+            // Smoke mode (`cargo test`): execute the body once. The single
+            // execution is still timed so `--json` emits a structurally
+            // complete (if statistically meaningless) report.
             let mut b = Bencher {
-                mode: Mode::Smoke,
+                mode: Mode::Smoke { elapsed: None },
                 samples: Vec::new(),
             };
             f(&mut b);
+            let elapsed = match b.mode {
+                Mode::Smoke { elapsed } => {
+                    elapsed.expect("bencher closure never called iter()")
+                }
+                _ => unreachable!(),
+            };
+            let ns = elapsed.as_nanos() as f64;
+            self.bench.records.push(Record {
+                name: full,
+                mode: "smoke".to_string(),
+                median_ns: ns,
+                min_ns: ns,
+                rate_per_sec: self.elements.map(|e| e as f64 / (ns * 1e-9).max(1e-12)),
+                samples: 1,
+                iters_per_sample: 1,
+            });
             return self;
         }
 
@@ -119,13 +239,13 @@ impl Group<'_> {
         per_iter_ns.sort_by(f64::total_cmp);
         let median = per_iter_ns[per_iter_ns.len() / 2];
         let min = per_iter_ns[0];
+        let rate = self.elements.map(|e| e as f64 / (median * 1e-9));
         let mut line = format!(
             "{full:<40} median {:>12}  min {:>12}",
             format_ns(median),
             format_ns(min)
         );
-        if let Some(elements) = self.elements {
-            let rate = elements as f64 / (median * 1e-9);
+        if let Some(rate) = rate {
             line.push_str(&format!("  {:>14}", format_rate(rate)));
         }
         line.push_str(&format!(
@@ -134,6 +254,15 @@ impl Group<'_> {
             iters_per_sample
         ));
         println!("{line}");
+        self.bench.records.push(Record {
+            name: full,
+            mode: "timed".to_string(),
+            median_ns: median,
+            min_ns: min,
+            rate_per_sec: rate,
+            samples: per_iter_ns.len() as u32,
+            iters_per_sample,
+        });
         self
     }
 
@@ -142,8 +271,8 @@ impl Group<'_> {
 }
 
 enum Mode {
-    /// Run the body once, untimed.
-    Smoke,
+    /// Run the body once; record its (single-shot) duration.
+    Smoke { elapsed: Option<Duration> },
     /// Run until `budget` elapses, estimating time per iteration.
     Calibrate { budget: Duration },
     /// Result of calibration.
@@ -174,8 +303,13 @@ impl Bencher {
         mut routine: impl FnMut(I) -> R,
     ) {
         match self.mode {
-            Mode::Smoke => {
-                black_box(routine(setup()));
+            Mode::Smoke { .. } => {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                self.mode = Mode::Smoke {
+                    elapsed: Some(t0.elapsed()),
+                };
             }
             Mode::Calibrate { budget } => {
                 let started = Instant::now();
@@ -236,44 +370,415 @@ fn format_rate(per_sec: f64) -> String {
     }
 }
 
+// ------------------------------------------------------------ JSON report
+
+/// Render records as the `scalewall-microbench/v1` JSON report.
+///
+/// Hand-rolled (the workspace is hermetic — no serde): every number is
+/// required to be finite, strings are escaped per RFC 8259.
+pub fn render_report(records: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", json_string(SCHEMA)));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        assert!(
+            r.median_ns.is_finite() && r.min_ns.is_finite(),
+            "non-finite timing for {}",
+            r.name
+        );
+        out.push_str("    {");
+        out.push_str(&format!("\"name\": {}, ", json_string(&r.name)));
+        out.push_str(&format!("\"mode\": {}, ", json_string(&r.mode)));
+        out.push_str(&format!("\"median_ns\": {}, ", json_number(r.median_ns)));
+        out.push_str(&format!("\"min_ns\": {}, ", json_number(r.min_ns)));
+        match r.rate_per_sec {
+            Some(rate) => {
+                assert!(rate.is_finite(), "non-finite rate for {}", r.name);
+                out.push_str(&format!("\"rate_per_sec\": {}, ", json_number(rate)));
+            }
+            None => out.push_str("\"rate_per_sec\": null, "),
+        }
+        out.push_str(&format!("\"samples\": {}, ", r.samples));
+        out.push_str(&format!("\"iters_per_sample\": {}", r.iters_per_sample));
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    // Rust's f64 Display is shortest-round-trip and always a valid JSON
+    // number for finite values.
+    format!("{v}")
+}
+
+/// A parsed JSON value (just enough JSON for report validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (strict: one value, no trailing input).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape")?;
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or("surrogate \\u escape unsupported")?,
+                                );
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character.
+                        let rest = &text_from(b, *pos)?;
+                        let c = rest.chars().next().ok_or("bad utf-8")?;
+                        s.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{s}' at byte {start}"))
+        }
+    }
+}
+
+fn text_from(b: &[u8], pos: usize) -> Result<&str, String> {
+    std::str::from_utf8(&b[pos..]).map_err(|_| "bad utf-8".to_string())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+/// Validate a microbench JSON report; returns the record count.
+///
+/// Checks the full structural contract the trajectory tooling relies on:
+/// schema tag, a non-empty `results` array, and per-record field types
+/// (finite non-negative timings, positive sample counts).
+pub fn validate_report(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        Some(Json::Str(s)) => return Err(format!("unknown schema '{s}'")),
+        _ => return Err("missing schema tag".to_string()),
+    }
+    let results = match doc.get("results") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("missing results array".to_string()),
+    };
+    if results.is_empty() {
+        return Err("empty results array".to_string());
+    }
+    for (i, r) in results.iter().enumerate() {
+        let name = match r.get("name") {
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            _ => return Err(format!("result {i}: missing name")),
+        };
+        match r.get("mode") {
+            Some(Json::Str(m)) if m == "timed" || m == "smoke" => {}
+            _ => return Err(format!("{name}: mode must be 'timed' or 'smoke'")),
+        }
+        for field in ["median_ns", "min_ns"] {
+            match r.get(field) {
+                Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => {}
+                _ => return Err(format!("{name}: {field} must be a finite number >= 0")),
+            }
+        }
+        match r.get("rate_per_sec") {
+            Some(Json::Null) => {}
+            Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => {}
+            _ => return Err(format!("{name}: rate_per_sec must be null or finite")),
+        }
+        match r.get("samples") {
+            Some(Json::Num(v)) if *v >= 1.0 && v.fract() == 0.0 => {}
+            _ => return Err(format!("{name}: samples must be a positive integer")),
+        }
+        match r.get("iters_per_sample") {
+            Some(Json::Num(v)) if *v >= 1.0 && v.fract() == 0.0 => {}
+            _ => return Err(format!("{name}: iters_per_sample must be a positive integer")),
+        }
+    }
+    Ok(results.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn bench(timing: bool, filter: Option<&str>) -> Bench {
+        Bench {
+            timing,
+            filter: filter.map(str::to_string),
+            json_out: None,
+            records: Vec::new(),
+        }
+    }
+
     #[test]
     fn smoke_mode_runs_body_once() {
-        let mut bench = Bench {
-            timing: false,
-            filter: None,
-        };
+        let mut b = bench(false, None);
         let mut calls = 0u32;
-        let mut group = bench.group("g");
+        let mut group = b.group("g");
         group.bench_function("f", |b| b.iter(|| calls += 1));
         group.finish();
         drop(group);
         assert_eq!(calls, 1);
+        assert_eq!(b.records().len(), 1);
+        assert_eq!(b.records()[0].name, "g/f");
+        assert_eq!(b.records()[0].mode, "smoke");
     }
 
     #[test]
     fn filter_skips_non_matching() {
-        let mut bench = Bench {
-            timing: false,
-            filter: Some("other".into()),
-        };
+        let mut b = bench(false, Some("other"));
         let mut calls = 0u32;
-        bench.group("g").bench_function("f", |b| b.iter(|| calls += 1));
+        b.group("g").bench_function("f", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 0);
+        assert!(b.records().is_empty());
     }
 
     #[test]
     fn timed_mode_collects_samples() {
-        let mut bench = Bench {
-            timing: true,
-            filter: None,
-        };
-        let mut group = bench.group("g");
+        let mut b = bench(true, None);
+        let mut group = b.group("g");
         group.sample_size(3).throughput(1);
         group.bench_function("spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
         group.finish();
+        drop(group);
+        let rec = &b.records()[0];
+        assert_eq!(rec.mode, "timed");
+        assert_eq!(rec.samples, 3);
+        assert!(rec.rate_per_sec.is_some());
+    }
+
+    #[test]
+    fn report_round_trips_through_validator() {
+        let mut b = bench(false, None);
+        let mut group = b.group("event_kernel");
+        group.throughput(1_000);
+        group.bench_function("schedule \"quoted\"", |b| b.iter(|| black_box(7)));
+        group.bench_function("pop", |b| b.iter(|| black_box(8)));
+        drop(group);
+        let json = render_report(b.records());
+        assert_eq!(validate_report(&json).unwrap(), 2);
+        let doc = parse_json(&json).unwrap();
+        let results = match doc.get("results") {
+            Some(Json::Arr(items)) => items,
+            _ => panic!("results missing"),
+        };
+        assert_eq!(
+            results[0].get("name"),
+            Some(&Json::Str("event_kernel/schedule \"quoted\"".to_string()))
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        // Not JSON at all.
+        assert!(validate_report("not json").is_err());
+        // JSON but wrong shape.
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report("{\"schema\": \"bogus/v9\", \"results\": []}").is_err());
+        assert!(
+            validate_report(&format!("{{\"schema\": \"{SCHEMA}\", \"results\": []}}")).is_err(),
+            "empty results must be rejected"
+        );
+        // A record with a broken field.
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{{\"name\": \"x\", \
+             \"mode\": \"timed\", \"median_ns\": \"fast\", \"min_ns\": 1, \
+             \"rate_per_sec\": null, \"samples\": 1, \"iters_per_sample\": 1}}]}}"
+        );
+        assert!(validate_report(&bad).is_err());
+        // Truncated document.
+        let good = render_report(&[Record {
+            name: "a".into(),
+            mode: "timed".into(),
+            median_ns: 1.0,
+            min_ns: 1.0,
+            rate_per_sec: None,
+            samples: 1,
+            iters_per_sample: 1,
+        }]);
+        assert!(validate_report(&good[..good.len() / 2]).is_err());
+        assert_eq!(validate_report(&good).unwrap(), 1);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let doc = parse_json(
+            "{\"s\": \"a\\n\\\"b\\u0041\", \"n\": -1.5e3, \"b\": true, \"z\": null}",
+        )
+        .unwrap();
+        assert_eq!(doc.get("s"), Some(&Json::Str("a\n\"bA".to_string())));
+        assert_eq!(doc.get("n"), Some(&Json::Num(-1500.0)));
+        assert_eq!(doc.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("z"), Some(&Json::Null));
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
     }
 }

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use scalewall_sim::sync::RwLock;
 use scalewall_discovery::{MappingStore, ShardKey};
-use scalewall_sim::{SimRng, SimTime};
+use scalewall_sim::{DeadlineQueue, SimRng, SimTime};
 use scalewall_zk::{SessionConfig, SessionId, ZkStore};
 
 use crate::app_server::{AddShardReason, AppServerRegistry, ShardContext};
@@ -155,6 +155,14 @@ pub struct SmServer {
     zk: ZkStore,
     discovery: SharedDiscovery,
     active: BTreeMap<u64, MigrationRecord>,
+    /// Phase deadlines of in-flight migrations on the simulation kernel's
+    /// deadline wheel, so `advance_migrations` visits only the due ones
+    /// instead of scanning every active record each tick. Armed whenever
+    /// a record's `deadline` is set; entries for finished or re-phased
+    /// migrations are re-validated (and dropped or re-armed) when they
+    /// fire.
+    deadlines: DeadlineQueue<u64>,
+    deadline_scratch: Vec<u64>,
     history: Vec<MigrationRecord>,
     next_migration: u64,
     /// Failovers that found no feasible target; retried on each tick.
@@ -179,6 +187,8 @@ impl SmServer {
             hosts: BTreeMap::new(),
             discovery,
             active: BTreeMap::new(),
+            deadlines: DeadlineQueue::new(),
+            deadline_scratch: Vec::new(),
             history: Vec::new(),
             next_migration: 0,
             pending_failovers: Vec::new(),
@@ -757,6 +767,7 @@ impl SmServer {
         let copy = self.config.timings.copy_duration(kind, bytes);
         let id = self.next_migration_id();
         let app_arc = self.app(app_name)?.spec.name.clone();
+        self.deadlines.arm(now + copy, id.0);
         self.active.insert(
             id.0,
             MigrationRecord {
@@ -845,6 +856,7 @@ impl SmServer {
                     .timings
                     .copy_duration(MigrationKind::Failover, bytes);
                 let id = self.next_migration_id();
+                self.deadlines.arm(now + copy, id.0);
                 self.active.insert(
                     id.0,
                     MigrationRecord {
@@ -877,15 +889,29 @@ impl SmServer {
     /// Advance all in-flight migrations whose phase deadline has passed.
     /// Call whenever simulated time moves (idempotent).
     pub fn advance_migrations<R: AppServerRegistry>(&mut self, now: SimTime, registry: &mut R) {
-        let due: Vec<u64> = self
-            .active
-            .iter()
-            .filter(|(_, m)| !m.is_finished() && m.deadline <= now)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in due {
-            self.step_migration(id, now, registry);
+        // Candidates come off the deadline wheel (armed when each record's
+        // deadline is set) rather than a scan over every active record.
+        // Each candidate is re-validated against the live record, and
+        // processed in ascending id order — the order the old full scan
+        // produced, which the replay contract pins.
+        let mut due = std::mem::take(&mut self.deadline_scratch);
+        self.deadlines.due(now, &mut due);
+        due.sort_unstable();
+        due.dedup();
+        for &id in &due {
+            let state = match self.active.get(&id) {
+                Some(m) if !m.is_finished() => Some((m.deadline, m.deadline <= now)),
+                _ => None, // finished or swept: the entry dies here
+            };
+            match state {
+                Some((_, true)) => self.step_migration(id, now, registry),
+                // Deadline moved since this entry was armed: re-arm.
+                Some((deadline, false)) => self.deadlines.arm(deadline, id),
+                None => {}
+            }
         }
+        due.clear();
+        self.deadline_scratch = due;
         // Sweep finished records into history.
         let finished: Vec<u64> = self
             .active
@@ -927,6 +953,8 @@ impl SmServer {
                 let m = self.active.get_mut(&id).expect("still active");
                 m.phase = MigrationPhase::Forwarding;
                 m.deadline = now + self.config.timings.propagation_wait;
+                let deadline = m.deadline;
+                self.deadlines.arm(deadline, id);
             }
             (MigrationKind::Graceful, MigrationPhase::Forwarding) => {
                 // Propagation window over: dropShard(old).

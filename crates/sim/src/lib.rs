@@ -8,7 +8,10 @@
 //! * [`time`] — simulated time as integer nanoseconds ([`SimTime`],
 //!   [`SimDuration`]); a simulated week advances event time only.
 //! * [`event`] — a total-order event queue with stable tie-breaking, so the
-//!   same seed always replays the same history.
+//!   same seed always replays the same history. The production queue is a
+//!   hierarchical calendar wheel; the original binary-heap queue survives
+//!   as [`ReferenceEventQueue`], the model the wheel is property-tested
+//!   against (see `DESIGN.md` §5 for the ordering contract).
 //! * [`rng`] — seedable, forkable random source ([`SimRng`]); every stochastic
 //!   process in the workspace draws from one of these.
 //! * [`fault`] — generic fault-scenario windows (onset / duration / repair)
@@ -39,7 +42,7 @@ pub mod time;
 pub use dist::{
     Bernoulli, Exponential, LogNormal, Normal, Pareto, PoissonProcess, TailLatency, Zipf,
 };
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{DeadlineQueue, EventQueue, ReferenceEventQueue, ScheduledEvent};
 pub use fault::{FaultPhase, FaultTimeline, FaultTransition, FaultWindow};
 pub use rng::SimRng;
 pub use stats::{DailyCounter, Histogram, Summary, Welford};

@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use scalewall_sim::SimTime;
+use scalewall_sim::{DeadlineQueue, SimDuration, SimTime};
 
 use crate::error::{ZkError, ZkResult};
 use crate::session::{Session, SessionConfig, SessionId};
@@ -60,6 +60,13 @@ pub struct ZkStore {
     pending_events: Vec<WatchEvent>,
     next_session: u64,
     session_config: SessionConfig,
+    /// Expiry candidates on the simulation kernel's deadline wheel: each
+    /// live session keeps exactly one armed entry (created at session
+    /// open, re-armed lazily when a candidate turns out to have kept
+    /// heartbeating), so `expire_sessions` is O(due) instead of a scan
+    /// over every session. Heartbeats never touch the wheel.
+    expiry: DeadlineQueue<SessionId>,
+    expiry_scratch: Vec<SessionId>,
 }
 
 impl Default for ZkStore {
@@ -133,7 +140,17 @@ impl ZkStore {
             pending_events: Vec::new(),
             next_session: 1,
             session_config,
+            expiry: DeadlineQueue::new(),
+            expiry_scratch: Vec::new(),
         }
+    }
+
+    /// First instant at which `s` counts as expired (`is_expired` is a
+    /// strict comparison, so one nanosecond past the timeout).
+    fn expiry_deadline(s: &Session) -> SimTime {
+        s.last_heartbeat
+            .saturating_add(s.timeout)
+            .saturating_add(SimDuration::from_nanos(1))
     }
 
     // ---------------------------------------------------------------- sessions
@@ -142,8 +159,9 @@ impl ZkStore {
     pub fn create_session(&mut self, now: SimTime) -> SessionId {
         let id = SessionId(self.next_session);
         self.next_session += 1;
-        self.sessions
-            .insert(id, Session::new(now, self.session_config.timeout));
+        let session = Session::new(now, self.session_config.timeout);
+        self.expiry.arm(Self::expiry_deadline(&session), id);
+        self.sessions.insert(id, session);
         id
     }
 
@@ -191,12 +209,27 @@ impl ZkStore {
     /// watches). Returns the sessions that expired. Call this whenever the
     /// driver advances time.
     pub fn expire_sessions(&mut self, now: SimTime) -> Vec<SessionId> {
-        let expired: Vec<SessionId> = self
-            .sessions
-            .iter()
-            .filter(|(_, s)| s.is_expired(now))
-            .map(|(&id, _)| id)
-            .collect();
+        // Candidates come off the deadline wheel; each is re-validated
+        // because heartbeats move the real deadline without touching the
+        // wheel. Still-alive candidates re-arm at their current deadline,
+        // entries for closed sessions die here (ids are never reused).
+        let mut due = std::mem::take(&mut self.expiry_scratch);
+        self.expiry.due(now, &mut due);
+        let mut expired: Vec<SessionId> = Vec::new();
+        for id in due.drain(..) {
+            match self.sessions.get(&id) {
+                None => {}
+                Some(s) if s.is_expired(now) => expired.push(id),
+                Some(s) => {
+                    let deadline = Self::expiry_deadline(s);
+                    self.expiry.arm(deadline, id);
+                }
+            }
+        }
+        self.expiry_scratch = due;
+        // The replay contract pins the old full-scan order: ascending id.
+        expired.sort_unstable();
+        expired.dedup();
         for id in &expired {
             self.close_session_inner(*id, now);
         }

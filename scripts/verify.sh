@@ -34,4 +34,16 @@ cargo test -q --offline --workspace
 cargo test -q --offline --test fault_scenarios
 cargo run --release --offline -p scalewall-bench --bin fig2b_correlated_sweep -- --fast >/dev/null
 
+# Event-kernel microbench gate (ISSUE 7): smoke-run the kernel bench
+# (every body once, no --bench), emit a JSON report, and validate both
+# the fresh emission and the checked-in trajectory with the in-repo
+# parser. Malformed output fails the build.
+kernel_bench="$(mktemp /tmp/scalewall-event-kernel.XXXXXX.json)"
+trap 'rm -f "$kernel_bench"' EXIT
+# (`cargo test --bench` runs the target *without* cargo's `--bench` flag,
+# i.e. in single-shot smoke mode; `--validate` exits before any timing.)
+cargo test -q --offline -p scalewall-bench --bench event_kernel -- --json "$kernel_bench" >/dev/null
+cargo test -q --offline -p scalewall-bench --bench event_kernel -- --validate "$kernel_bench"
+cargo test -q --offline -p scalewall-bench --bench event_kernel -- --validate "$PWD/BENCH_event_kernel.json"
+
 echo "tier-1 verify: OK (offline)"

@@ -3,6 +3,7 @@
 //! forked RNG streams must be immune to sibling-stream activity.
 
 use scalewall::cluster::deployment::DeploymentConfig;
+use scalewall_bench::figures::fig5;
 use scalewall::cluster::experiment::{Experiment, ExperimentConfig, ExperimentStats};
 use scalewall::cluster::fault::{FaultKind, FaultScript};
 use scalewall::cluster::workload::WorkloadConfig;
@@ -145,6 +146,37 @@ fn faulted_experiment_replays_bit_identically() {
     );
     assert_eq!(a.fault_injections, 2);
     assert_eq!(a.fault_repairs, 2);
+}
+
+/// Fig-5-shaped replay at an elevated host count: every query arrival is
+/// scheduled through the calendar-wheel event kernel, so this doubles as
+/// the kernel's bit-identical-replay gate at cluster scale (the full
+/// figure runs the same engine at 10,002 hosts — see `fig5::compute`).
+/// Floats are compared by bit pattern: same seed, same bytes.
+#[test]
+fn fig5_shaped_kernel_replay_is_bit_identical() {
+    fn fingerprint() -> Vec<u64> {
+        // 1,200 hosts (vs the fast profile's 216) across three fan-out
+        // levels; small per-level budget keeps this a smoke replay.
+        let results = fig5::compute_custom(400, &[1, 16, 64], |_| 600);
+        let mut f = Vec::new();
+        for r in &results {
+            f.push(r.fanout as u64);
+            f.push(r.successes);
+            f.push(r.failures);
+            f.push(r.summary.p50.to_bits());
+            f.push(r.summary.p90.to_bits());
+            f.push(r.summary.p99.to_bits());
+            f.push(r.summary.p999.to_bits());
+            f.push(r.summary.max.to_bits());
+        }
+        f
+    }
+    assert_eq!(
+        fingerprint(),
+        fingerprint(),
+        "fig5-shaped kernel workload did not replay bit-identically"
+    );
 }
 
 /// Fork-stability under event injection: the fault scheduler draws all
