@@ -1,0 +1,145 @@
+//! Replicated-coordination-plane micro-benchmarks: what a mutating
+//! coordination op costs once every ack implies majority replication,
+//! and how long a lease-driven failover takes to reach its first commit.
+//!
+//! * `proposal_commit_{3,5}node` — steady-state commit latency of one
+//!   `SetData` proposal through `ZkEnsemble::submit_to` (append +
+//!   replicate to every reachable follower + apply everywhere). The
+//!   3-vs-5 pair prices the ensemble-size knob directly.
+//! * `client_submit_via_redirect` — the same commit submitted through
+//!   `ZkClient` with a deliberately stale leader hint, measuring the
+//!   `NotLeader`-redirect discovery path the shard manager rides after
+//!   every failover.
+//! * `failover_to_first_commit` — wall clock from leader crash to the
+//!   first post-election committed op (election + `TouchSessions` +
+//!   catchup + commit), recorded via `push_record` over many cycles.
+//!
+//! Regenerate the trajectory from the repo root with (the bench binary's
+//! cwd is `crates/bench`, hence the absolute path):
+//! `cargo bench -p scalewall-bench --bench zk_replication -- --bench --json "$PWD/BENCH_zk_replication.json"`
+
+use scalewall_bench::microbench::{Bench, Record};
+use scalewall_sim::{SimDuration, SimTime};
+use scalewall_zk::{NodeKind, ZkClient, ZkEnsemble, ZkOp, ZkReplicationConfig};
+use std::time::Instant;
+
+fn set_data(i: u64) -> ZkOp {
+    ZkOp::SetData {
+        path: "/bench/knob".into(),
+        data: i.to_le_bytes().to_vec(),
+        expected_version: None,
+    }
+}
+
+/// An ensemble with the bench namespace pre-created and a few sessions
+/// registered, so commits run against non-trivial store state.
+fn prepped(replicas: u32) -> ZkEnsemble {
+    let cfg = ZkReplicationConfig {
+        replicas,
+        ..ZkReplicationConfig::default()
+    };
+    let mut ens = ZkEnsemble::new(&cfg);
+    let t0 = SimTime::from_secs(1);
+    ens.submit_to(
+        0,
+        ZkOp::CreateRecursive {
+            path: "/bench/knob".into(),
+            data: vec![0],
+            kind: NodeKind::Persistent,
+            session: None,
+        },
+        t0,
+    )
+    .expect("seed namespace");
+    for _ in 0..8 {
+        ens.submit_to(0, ZkOp::CreateSession, t0).expect("seed session");
+    }
+    ens
+}
+
+fn bench_proposal_commit(c: &mut Bench, replicas: u32) {
+    let mut ens = prepped(replicas);
+    let mut group = c.group("zk_replication");
+    group.sample_size(20);
+    group.throughput(1);
+    let mut i = 0u64;
+    group.bench_function(&format!("proposal_commit_{replicas}node"), |b| {
+        b.iter(|| {
+            i += 1;
+            ens.submit_to(
+                ens.leader().expect("healthy ensemble"),
+                set_data(i),
+                SimTime::from_secs(2) + SimDuration::from_nanos(i),
+            )
+            .expect("commit")
+        })
+    });
+    group.finish();
+}
+
+fn bench_client_redirect(c: &mut Bench) {
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = prepped(cfg.replicas);
+    let mut client = ZkClient::new(cfg.seed, cfg.retry);
+    let mut group = c.group("zk_replication");
+    group.sample_size(20);
+    group.throughput(1);
+    let mut i = 0u64;
+    let n = ens.replica_count();
+    group.bench_function("client_submit_via_redirect", |b| {
+        b.iter(|| {
+            i += 1;
+            // Poison the hint each iteration so every submit pays one
+            // NotLeader redirect before committing.
+            client.set_hint((ens.leader().unwrap() + 1) % n);
+            client
+                .submit(
+                    &mut ens,
+                    set_data(i),
+                    SimTime::from_secs(2) + SimDuration::from_nanos(i),
+                )
+                .expect("commit after redirect")
+        })
+    });
+    group.finish();
+}
+
+/// Crash-elect-commit cycles timed as one wall-clock shot: the cost of
+/// automatic failover itself, not of the lease wait (sim time is free).
+fn bench_failover_to_first_commit(c: &mut Bench) {
+    let cycles: u64 = if c.timing() { 2_000 } else { 50 };
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = prepped(cfg.replicas);
+    let lease_step = SimDuration::from_secs(30);
+    let mut now = SimTime::from_secs(10);
+    let t0 = Instant::now();
+    for i in 0..cycles {
+        let old = ens.leader().expect("leader before cycle");
+        ens.crash_replica(old);
+        now = now + lease_step;
+        let new = ens.tick(now).expect("deterministic election");
+        ens.submit_to(new, set_data(i), now).expect("first post-failover commit");
+        ens.restore_replica(old);
+        now = now + lease_step;
+        ens.tick(now); // catchup for the repaired replica
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    c.push_record(Record {
+        name: "zk_replication/failover_to_first_commit".to_string(),
+        mode: if c.timing() { "timed" } else { "smoke" }.to_string(),
+        median_ns: elapsed_ns / cycles as f64,
+        min_ns: elapsed_ns / cycles as f64,
+        rate_per_sec: Some(cycles as f64 / (elapsed_ns * 1e-9)),
+        samples: 1,
+        iters_per_sample: cycles,
+    });
+}
+
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_proposal_commit(&mut bench, 3);
+    bench_proposal_commit(&mut bench, 5);
+    bench_client_redirect(&mut bench);
+    bench_failover_to_first_commit(&mut bench);
+    bench.finish();
+}

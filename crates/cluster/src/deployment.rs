@@ -150,7 +150,22 @@ impl Deployment {
                 config.racks_per_region,
                 &mut topo_rng.fork(r as u64),
             );
-            let mut sm = SmServer::standalone(config.sm.clone());
+            let mut sm_config = config.sm.clone();
+            if let Some(rep) = &mut sm_config.replication {
+                // Home replica `i` of region r's ensemble in region
+                // `(r + i) % regions`: replica 0 — the initial leader —
+                // sits in the owning region (so a region outage kills
+                // its own coordinator and forces a real failover) and
+                // the rest spread across the other regions so a
+                // majority survives any single-region loss.
+                rep.homes = (0..rep.replicas)
+                    .map(|i| (r + i) % config.regions)
+                    .collect();
+                // Distinct client-jitter stream per region, same xor
+                // idiom as the per-region discovery delay stream below.
+                rep.seed ^= r as u64;
+            }
+            let mut sm = SmServer::standalone(sm_config);
             sm.register_app(
                 AppSpec::primary_only(APP, config.max_shards).with_balancer(config.balancer),
             )
@@ -568,7 +583,55 @@ impl Deployment {
                 let _ = region.sm.heartbeat(host, now);
             }
         }
-        region.sm.tick(now, &mut region.nodes);
+        let _ = crate::driver::drive_region_coordination(region, now);
+    }
+
+    // ------------------------------------------------- coordination plane ops
+
+    /// Crash every coordination replica homed in `home_region`, across
+    /// all regions' ensembles (the fault DSL's `ZkNodeCrash`, and the
+    /// coordinator-side effect of a region outage). No-op when the
+    /// deployment runs the single in-process store.
+    pub fn zk_crash_region(&mut self, home_region: u32) {
+        for region in &mut self.regions {
+            region.sm.coordination_mut().crash_home(home_region);
+        }
+    }
+
+    pub fn zk_restore_region(&mut self, home_region: u32) {
+        for region in &mut self.regions {
+            region.sm.coordination_mut().restore_home(home_region);
+        }
+    }
+
+    /// Sever coordination traffic between replicas homed in regions `a`
+    /// and `b` (the coordinator-side effect of a `RegionPartition`).
+    pub fn zk_partition(&mut self, a: u32, b: u32) {
+        for region in &mut self.regions {
+            region.sm.coordination_mut().cut_regions(a, b);
+        }
+    }
+
+    pub fn zk_heal(&mut self, a: u32, b: u32) {
+        for region in &mut self.regions {
+            region.sm.coordination_mut().heal_regions(a, b);
+        }
+    }
+
+    /// Total coordination-leader failovers across all regional ensembles.
+    pub fn zk_failovers(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.sm.coordination().failovers())
+            .sum()
+    }
+
+    /// Total `SessionMoved` reconnect handshakes absorbed by SM clients.
+    pub fn zk_session_moves(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.sm.coordination().session_moves())
+            .sum()
     }
 
     /// Collect application metrics in every region.

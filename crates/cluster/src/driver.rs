@@ -20,8 +20,39 @@ use cubrick::query::Query;
 use scalewall_shard_manager::{HostId, Region};
 use scalewall_sim::{SimDuration, SimRng, SimTime};
 
-use crate::deployment::Deployment;
+use crate::deployment::{Deployment, RegionState};
 use crate::net::{NetModel, ServerResponse};
+
+/// Snapshot of a region's coordination-plane health after one drive
+/// step: who leads the regional ensemble, in which epoch, and how many
+/// failovers it has absorbed since startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordinationHealth {
+    /// Current ensemble leader, `None` while leaderless (lease running
+    /// out after a leader loss). Always `Some(0)` for the single store.
+    pub leader: Option<u32>,
+    pub epoch: u64,
+    /// Leader changes since startup.
+    pub failovers: u64,
+}
+
+/// Drive one region's shard manager — and through it the coordination
+/// plane — to `now`. This is the client-side driving point for the
+/// replicated plane: inside `sm.tick` the lease is renewed or a
+/// deterministic election runs, and every SM → zk call goes through a
+/// `ZkClient` that follows `NotLeader` redirects under the bounded
+/// jittered retry/backoff policy (`RetryPolicy`, jitter from a dedicated
+/// forked stream). Returns the plane's post-tick health so callers can
+/// account failovers.
+pub fn drive_region_coordination(region: &mut RegionState, now: SimTime) -> CoordinationHealth {
+    region.sm.tick(now, &mut region.nodes);
+    let plane = region.sm.coordination();
+    CoordinationHealth {
+        leader: plane.leader(),
+        epoch: plane.epoch(),
+        failovers: plane.failovers(),
+    }
+}
 
 /// Per-query options.
 #[derive(Debug, Clone, Copy)]

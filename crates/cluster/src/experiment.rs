@@ -111,6 +111,11 @@ pub struct ExperimentStats {
     /// identical population streams — the fork-stability check used by
     /// the fault-replay tests.
     pub population_fingerprint: u64,
+    /// Coordination-leader failovers across all regional zk ensembles
+    /// (0 when the deployment runs the single in-process store).
+    pub zk_failovers: u64,
+    /// `SessionMoved` reconnect handshakes absorbed by SM's zk clients.
+    pub zk_session_moves: u64,
 }
 
 impl ExperimentStats {
@@ -540,8 +545,21 @@ impl Experiment {
                     FaultKind::RegionOutage { region } => {
                         let region_idx = self.clamp_region(region);
                         self.dep.regions[region_idx].available = false;
+                        // Coordination replicas homed in the dead region
+                        // die with it — including ensemble leaders, which
+                        // forces lease-driven failover in every ensemble
+                        // that leased a leader there.
+                        self.dep.zk_crash_region(region_idx as u32);
                     }
-                    FaultKind::RegionPartition { a, b } => self.net.cut(a, b),
+                    FaultKind::RegionPartition { a, b } => {
+                        self.net.cut(a, b);
+                        // The coordination plane rides the same links.
+                        self.dep.zk_partition(a, b);
+                    }
+                    FaultKind::ZkNodeCrash { region } => {
+                        let region_idx = self.clamp_region(region);
+                        self.dep.zk_crash_region(region_idx as u32);
+                    }
                     FaultKind::DrainStorm { region, drains } => {
                         let region_idx = self.clamp_region(region);
                         let mut candidates = self.alive_hosts(region_idx);
@@ -590,8 +608,16 @@ impl Experiment {
                     FaultKind::RegionOutage { region } => {
                         let region_idx = self.clamp_region(region);
                         self.dep.regions[region_idx].available = true;
+                        self.dep.zk_restore_region(region_idx as u32);
                     }
-                    FaultKind::RegionPartition { a, b } => self.net.heal(a, b),
+                    FaultKind::RegionPartition { a, b } => {
+                        self.net.heal(a, b);
+                        self.dep.zk_heal(a, b);
+                    }
+                    FaultKind::ZkNodeCrash { region } => {
+                        let region_idx = self.clamp_region(region);
+                        self.dep.zk_restore_region(region_idx as u32);
+                    }
                     // Storm drains undrain on their own schedule.
                     FaultKind::DrainStorm { .. } => {}
                 }
@@ -676,6 +702,8 @@ impl Experiment {
             region_failovers: self.proxy.stats.region_failovers,
             same_table_collisions: self.dep.same_table_collisions() as u64,
             population_fingerprint: self.population_fingerprint,
+            zk_failovers: self.dep.zk_failovers(),
+            zk_session_moves: self.dep.zk_session_moves(),
         }
     }
 }

@@ -35,6 +35,12 @@ pub enum FaultKind {
     /// `drains` concurrent single-host maintenance requests land on the
     /// automation engine at once, stressing the drain safety checks.
     DrainStorm { region: u32, drains: u32 },
+    /// Every coordination-plane replica homed in `region` crashes (the
+    /// coordinator's rack dies) and is restored at repair. Application
+    /// hosts are untouched: this isolates coordination loss from
+    /// capacity loss. No-op unless the deployment runs the replicated
+    /// plane (`SmConfig::replication`).
+    ZkNodeCrash { region: u32 },
 }
 
 /// A replayable fault scenario: an ordered list of fault windows.

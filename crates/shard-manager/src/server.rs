@@ -22,7 +22,7 @@ use std::sync::Arc;
 use scalewall_sim::sync::RwLock;
 use scalewall_discovery::{MappingStore, ShardKey};
 use scalewall_sim::{DeadlineQueue, SimRng, SimTime};
-use scalewall_zk::{SessionConfig, SessionId, ZkStore};
+use scalewall_zk::{CoordinationPlane, SessionConfig, SessionId, ZkReplicationConfig};
 
 use crate::app_server::{AddShardReason, AppServerRegistry, ShardContext};
 use crate::balancer::{fleet_stats, propose_rebalance, BalancerStats};
@@ -57,6 +57,11 @@ pub struct SmConfig {
     pub placement_jitter: usize,
     /// Seed for the server's private RNG (placement jitter).
     pub seed: u64,
+    /// When set, heartbeats/sessions/watches go through a replicated
+    /// coordination ensemble with lease-based leader failover instead of
+    /// the single in-process store. `None` preserves the original
+    /// single-store behaviour bit-for-bit.
+    pub replication: Option<ZkReplicationConfig>,
 }
 
 impl Default for SmConfig {
@@ -68,6 +73,7 @@ impl Default for SmConfig {
             max_veto_retries: 8,
             placement_jitter: 1,
             seed: 0x5337,
+            replication: None,
         }
     }
 }
@@ -152,7 +158,7 @@ pub struct SmServer {
     config: SmConfig,
     apps: BTreeMap<Arc<str>, AppState>,
     hosts: BTreeMap<HostId, HostEntry>,
-    zk: ZkStore,
+    zk: CoordinationPlane,
     discovery: SharedDiscovery,
     active: BTreeMap<u64, MigrationRecord>,
     /// Phase deadlines of in-flight migrations on the simulation kernel's
@@ -180,7 +186,10 @@ pub struct SmServer {
 impl SmServer {
     pub fn new(config: SmConfig, discovery: SharedDiscovery) -> Self {
         SmServer {
-            zk: ZkStore::new(config.session),
+            zk: match &config.replication {
+                None => CoordinationPlane::single(config.session),
+                Some(rep) => CoordinationPlane::replicated(rep),
+            },
             rng: SimRng::new(config.seed),
             config,
             apps: BTreeMap::new(),
@@ -208,6 +217,19 @@ impl SmServer {
 
     pub fn config(&self) -> &SmConfig {
         &self.config
+    }
+
+    // ----------------------------------------------------------- coordination
+
+    /// The coordination plane this server registers sessions against.
+    /// Fault injection (region outages, `ZkNodeCrash`, partitions) and
+    /// health reporting go through this handle.
+    pub fn coordination(&self) -> &CoordinationPlane {
+        &self.zk
+    }
+
+    pub fn coordination_mut(&mut self) -> &mut CoordinationPlane {
+        &mut self.zk
     }
 
     // ------------------------------------------------------------------- apps
@@ -256,8 +278,19 @@ impl SmServer {
         if self.hosts.contains_key(&info.id) {
             return Err(SmError::HostExists { host: info.id });
         }
-        let session = self.zk.create_session(now);
+        // A registration that cannot reach the coordination plane (no
+        // leader within the retry budget) is refused; the caller retries
+        // after failover, exactly like against real ZooKeeper.
+        let session = self
+            .zk
+            .create_session(now)
+            .map_err(|_| SmError::BadHostState {
+                host: info.id,
+                reason: "coordination plane unavailable",
+            })?;
         let path = format!("/sm/hosts/{}", info.id.0);
+        // The session was just created against the current leader at the
+        // same instant, so these follow-up ops cannot lose leadership.
         self.zk
             .create_recursive(
                 &path,
@@ -268,7 +301,7 @@ impl SmServer {
             )
             .expect("host path is fresh");
         self.zk
-            .watch(&path, scalewall_zk::WatchKind::Node, info.id.0)
+            .watch(&path, scalewall_zk::WatchKind::Node, info.id.0, now)
             .expect("valid path");
         self.session_hosts.insert(session, info.id);
         self.hosts.insert(
@@ -1329,7 +1362,13 @@ impl SmServer {
             .get_mut(&host)
             .ok_or(SmError::UnknownHost { host })?;
         if entry.session.is_none() {
-            let session = self.zk.create_session(now);
+            let session = self
+                .zk
+                .create_session(now)
+                .map_err(|_| SmError::BadHostState {
+                    host,
+                    reason: "coordination plane unavailable",
+                })?;
             let path = format!("/sm/hosts/{}", host.0);
             let _ = self.zk.create_recursive(
                 &path,
@@ -1338,7 +1377,9 @@ impl SmServer {
                 Some(session),
                 now,
             );
-            let _ = self.zk.watch(&path, scalewall_zk::WatchKind::Node, host.0);
+            let _ = self
+                .zk
+                .watch(&path, scalewall_zk::WatchKind::Node, host.0, now);
             self.session_hosts.insert(session, host);
             entry.session = Some(session);
         }
@@ -1351,9 +1392,16 @@ impl SmServer {
     /// Periodic maintenance: expire heartbeat sessions (failing dead
     /// hosts), retry queued failovers, and advance migrations.
     pub fn tick<R: AppServerRegistry>(&mut self, now: SimTime, registry: &mut R) {
-        // Heartbeat expiry via the coordination store.
+        // Advance the coordination plane first (lease renewal / leader
+        // election when replicated), so a post-failover leader's
+        // `TouchSessions` lands before the expiry check below — sessions
+        // must not be punished for a leaderless window.
+        self.zk.tick(now);
+        // Heartbeat expiry via the coordination store. While the plane
+        // is unreachable this returns nothing: degraded-but-live, nobody
+        // is declared dead by a coordinator that cannot be consulted.
         let expired = self.zk.expire_sessions(now);
-        let _ = self.zk.drain_events(); // ephemeral-delete notifications
+        let _ = self.zk.drain_events(now); // ephemeral-delete notifications
         for session in expired {
             if let Some(host) = self.session_hosts.remove(&session) {
                 let _ = self.host_failed(host, now, registry);

@@ -1,6 +1,9 @@
-//! Error type for coordination-store operations.
+//! Error type for coordination-store operations, plus the bounded
+//! deterministic retry/backoff policy clients use to chase leadership.
 
 use std::fmt;
+
+use scalewall_sim::{SimDuration, SimRng};
 
 /// Result alias for store operations.
 pub type ZkResult<T> = Result<T, ZkError>;
@@ -28,6 +31,16 @@ pub enum ZkError {
     SessionExpired { session: u64 },
     /// The path is syntactically invalid.
     InvalidPath { path: String, reason: &'static str },
+    /// The contacted replica is not the leader. `hint` carries the
+    /// current leader's replica id when one is known; `None` means the
+    /// ensemble is leaderless (lease not yet expired, or no quorum) and
+    /// the client should back off and retry.
+    NotLeader { hint: Option<u32> },
+    /// First session-scoped operation to reach a leader elected after
+    /// the session last spoke: the session's connection "moved" across a
+    /// failover. The refusal doubles as the reconnect handshake — an
+    /// immediate retry of the same operation succeeds.
+    SessionMoved { session: u64 },
 }
 
 impl fmt::Display for ZkError {
@@ -52,8 +65,66 @@ impl fmt::Display for ZkError {
             }
             ZkError::SessionExpired { session } => write!(f, "session {session} expired"),
             ZkError::InvalidPath { path, reason } => write!(f, "invalid path {path:?}: {reason}"),
+            ZkError::NotLeader { hint: Some(id) } => write!(f, "not leader; try replica {id}"),
+            ZkError::NotLeader { hint: None } => write!(f, "not leader; ensemble leaderless"),
+            ZkError::SessionMoved { session } => {
+                write!(f, "session {session} moved across a failover; reconnect")
+            }
         }
     }
 }
 
 impl std::error::Error for ZkError {}
+
+impl ZkError {
+    /// Whether a client-side retry (possibly against a different
+    /// replica) can succeed without the caller changing the request.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ZkError::NotLeader { .. } | ZkError::SessionMoved { .. }
+        )
+    }
+}
+
+/// Bounded deterministic retry/backoff for leader discovery.
+///
+/// Backoff delays use *full jitter*: uniform in `[0, min(cap, base·2ᵃ))`
+/// for attempt `a`. The jitter must come from a dedicated forked RNG
+/// stream (never the workload stream) so that retry storms cannot
+/// perturb query arrival sequences — the same fork-isolation rule the
+/// fault stream follows (DESIGN.md "Determinism invariants").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt; total attempts = `max_retries + 1`.
+    pub max_retries: u32,
+    /// Backoff ceiling for the first retry.
+    pub base: SimDuration,
+    /// Upper bound on any single backoff delay.
+    pub cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base: SimDuration::from_millis(10),
+            cap: SimDuration::from_millis(320),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt` (1-based), drawn from the
+    /// caller's dedicated jitter stream.
+    pub fn backoff(&self, attempt: u32, jitter: &mut SimRng) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(20);
+        let ceil = self
+            .base
+            .as_nanos()
+            .saturating_mul(1u64 << shift)
+            .min(self.cap.as_nanos())
+            .max(1);
+        SimDuration::from_nanos(jitter.below(ceil))
+    }
+}

@@ -15,13 +15,24 @@
 //! driver owns it and advances its clock, which keeps every run
 //! deterministic. Nothing here knows about shards — it is a general
 //! coordination substrate.
+//!
+//! Since the replicated-coordination PR the store also has a fault-
+//! tolerant deployment shape: a [`replica::ZkEnsemble`] of 3–5 replicas
+//! homed across fault regions, with lease-based deterministic leader
+//! failover and a majority-replicated [`log::ReplicatedLog`] of every
+//! mutating op. [`replica::CoordinationPlane`] is the endpoint the shard
+//! manager talks to — either the original single store or the ensemble.
 
 pub mod error;
+pub mod log;
+pub mod replica;
 pub mod session;
 pub mod store;
 pub mod watch;
 
-pub use error::{ZkError, ZkResult};
+pub use error::{RetryPolicy, ZkError, ZkResult};
+pub use log::{LogEntry, ReplicatedLog, ZkOp, ZkResp};
+pub use replica::{CoordinationPlane, ZkClient, ZkEnsemble, ZkReplica, ZkReplicationConfig};
 pub use session::{SessionConfig, SessionId};
 pub use store::{NodeKind, NodeStat, ZkStore};
 pub use watch::{WatchEvent, WatchEventKind, WatchKind};

@@ -1,0 +1,878 @@
+//! Lease-based replicated coordination plane.
+//!
+//! A [`ZkEnsemble`] is a 3–5 node replicated state machine over
+//! [`ZkStore`], in the pragmatic ScalienDB mold (PAPERS.md): a single
+//! leader holds a sim-clock **lease**, every mutating op is appended to
+//! the leader's [`ReplicatedLog`], copied synchronously to every
+//! *reachable* follower, and applied through the shared
+//! [`ZkStore::apply`] path. The leader refuses writes unless it can
+//! reach a strict majority, so **acknowledged ⇔ majority-replicated**
+//! holds by construction and a linearizability check against a
+//! single-store oracle is an equality check (`tests/zk_replication.rs`).
+//!
+//! Failover is lease-driven and deterministic: lease expiry deadlines
+//! sit on the event kernel's [`DeadlineQueue`] (lazily re-validated, the
+//! same idiom session expiry uses), a healthy quorum-holding leader
+//! renews on every tick/commit, and when the lease lapses the election
+//! picks — among up replicas that can reach a majority — the longest
+//! log, breaking ties by lowest replica id. No randomness, no wall
+//! clock: a leader election mid-drain-storm replays bit-identically.
+//!
+//! Replicas are *homed* in fault regions. Region outages, rack-level
+//! coordinator kills (`ZkNodeCrash`), and inter-region partitions map
+//! onto [`ZkEnsemble::crash_home`] / [`ZkEnsemble::cut_regions`], which
+//! is how the fault DSL finally gets to kill the coordinator.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use scalewall_sim::{DeadlineQueue, SimDuration, SimRng, SimTime};
+
+use crate::error::{RetryPolicy, ZkError, ZkResult};
+use crate::log::{LogEntry, ReplicatedLog, ZkOp, ZkResp};
+use crate::session::{SessionConfig, SessionId};
+use crate::store::{NodeKind, ZkStore};
+use crate::watch::{WatchEvent, WatchKind};
+
+/// Configuration for a replicated coordination plane.
+#[derive(Debug, Clone)]
+pub struct ZkReplicationConfig {
+    /// Ensemble size; 3 or 5 in practice (majority = `replicas/2 + 1`).
+    pub replicas: u32,
+    /// Leader lease length. Failover latency after a leader loss is at
+    /// most one lease (the successor must wait out the old lease).
+    pub lease: SimDuration,
+    /// Retained log length per replica; followers behind the truncation
+    /// horizon catch up by snapshot install.
+    pub max_log: usize,
+    /// Fault-region home of each replica (`homes[i]` = region of replica
+    /// `i`). Empty means replica `i` is homed in region `i`. The
+    /// deployment layer fills this so replica 0 — the initial leader —
+    /// sits in the owning region and the rest are spread across regions.
+    pub homes: Vec<u32>,
+    /// Session timeout config for every replica's store.
+    pub session: SessionConfig,
+    /// Seed for the client's backoff-jitter stream. Forked before use so
+    /// it can never alias the workload stream (lint rule D3 discipline).
+    pub seed: u64,
+    /// Client-side retry/backoff policy for `NotLeader` redirects.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ZkReplicationConfig {
+    fn default() -> Self {
+        ZkReplicationConfig {
+            replicas: 3,
+            lease: SimDuration::from_secs(2),
+            max_log: 1024,
+            homes: Vec::new(),
+            session: SessionConfig::default(),
+            seed: 0x2c11e47,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One member of the ensemble: a full [`ZkStore`] replica plus its log
+/// position. A crashed replica keeps its state (the disk survives the
+/// process); catchup on restore replays the leader's log tail, or
+/// installs a snapshot when the tail has been truncated away.
+#[derive(Debug)]
+pub struct ZkReplica {
+    pub id: u32,
+    /// Fault region this replica is homed in.
+    pub home: u32,
+    pub up: bool,
+    store: ZkStore,
+    log: ReplicatedLog,
+    applied: u64,
+}
+
+/// Split two distinct replicas out of the slice for simultaneous
+/// mutable access (leader + follower during catchup).
+fn pair_mut(v: &mut [ZkReplica], a: usize, b: usize) -> (&mut ZkReplica, &mut ZkReplica) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// The replicated state machine: replicas + leader lease + commit path.
+#[derive(Debug)]
+pub struct ZkEnsemble {
+    replicas: Vec<ZkReplica>,
+    leader: Option<u32>,
+    epoch: u64,
+    lease: SimDuration,
+    lease_until: SimTime,
+    /// Lease expiry deadlines on the kernel wheel, keyed by epoch and
+    /// lazily re-validated (renewals move `lease_until` without
+    /// re-arming; a due entry whose lease moved re-arms itself).
+    lease_wheel: DeadlineQueue<u64>,
+    lease_scratch: Vec<u64>,
+    max_log: usize,
+    /// Severed region pairs (normalized `(lo, hi)`), mirroring the
+    /// cluster `NetModel`: replicas homed in the same region are never
+    /// partitioned from each other.
+    cuts: BTreeSet<(u32, u32)>,
+    /// Epoch in which each live session last spoke; a session op
+    /// arriving in a newer epoch gets one `SessionMoved` refusal (the
+    /// reconnect handshake) before being served.
+    session_epoch: BTreeMap<SessionId, u64>,
+    elections: u64,
+}
+
+impl ZkEnsemble {
+    pub fn new(cfg: &ZkReplicationConfig) -> Self {
+        let n = cfg.replicas.max(1);
+        let replicas = (0..n)
+            .map(|id| ZkReplica {
+                id,
+                home: cfg.homes.get(id as usize).copied().unwrap_or(id),
+                up: true,
+                store: ZkStore::new(cfg.session),
+                log: ReplicatedLog::new(),
+                applied: 0,
+            })
+            .collect();
+        let mut lease_wheel = DeadlineQueue::new();
+        let lease_until = SimTime::ZERO + cfg.lease;
+        lease_wheel.arm(lease_until, 1);
+        ZkEnsemble {
+            replicas,
+            leader: Some(0),
+            epoch: 1,
+            lease: cfg.lease,
+            lease_until,
+            lease_wheel,
+            lease_scratch: Vec::new(),
+            max_log: cfg.max_log.max(1),
+            cuts: BTreeSet::new(),
+            session_epoch: BTreeMap::new(),
+            elections: 0,
+        }
+    }
+
+    pub fn replica_count(&self) -> u32 {
+        self.replicas.len() as u32
+    }
+
+    pub fn leader(&self) -> Option<u32> {
+        self.leader
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of leader changes since construction.
+    pub fn elections(&self) -> u64 {
+        self.elections
+    }
+
+    /// Digest of one replica's store (tests compare these across the
+    /// ensemble and against the oracle).
+    pub fn replica_digest(&self, id: u32) -> u64 {
+        self.replicas[id as usize].store.state_digest()
+    }
+
+    /// Read access to one replica's store, for assertions.
+    pub fn replica_store(&self, id: u32) -> &ZkStore {
+        &self.replicas[id as usize].store
+    }
+
+    pub fn replica_up(&self, id: u32) -> bool {
+        self.replicas[id as usize].up
+    }
+
+    /// First retained log index on a replica (> 1 once truncated).
+    pub fn replica_log_start(&self, id: u32) -> u64 {
+        self.replicas[id as usize].log.first_index()
+    }
+
+    fn majority(&self) -> usize {
+        self.replicas.len() / 2 + 1
+    }
+
+    fn regions_cut(&self, a: u32, b: u32) -> bool {
+        a != b && self.cuts.contains(&(a.min(b), a.max(b)))
+    }
+
+    fn reachable(&self, from: u32, to: u32) -> bool {
+        let (f, t) = (&self.replicas[from as usize], &self.replicas[to as usize]);
+        f.up && t.up && !self.regions_cut(f.home, t.home)
+    }
+
+    /// Whether `id` is up and can assemble a strict majority (itself
+    /// plus reachable up peers).
+    fn has_quorum(&self, id: u32) -> bool {
+        if !self.replicas[id as usize].up {
+            return false;
+        }
+        let peers = (0..self.replica_count())
+            .filter(|&j| j != id && self.reachable(id, j))
+            .count();
+        peers + 1 >= self.majority()
+    }
+
+    // ------------------------------------------------------------- fault hooks
+
+    pub fn crash_replica(&mut self, id: u32) {
+        self.replicas[id as usize].up = false;
+    }
+
+    pub fn restore_replica(&mut self, id: u32) {
+        self.replicas[id as usize].up = true;
+    }
+
+    /// Crash every replica homed in `region` (coordinator-aware fault
+    /// kinds: `ZkNodeCrash`, region outage).
+    pub fn crash_home(&mut self, region: u32) {
+        for r in &mut self.replicas {
+            if r.home == region {
+                r.up = false;
+            }
+        }
+    }
+
+    pub fn restore_home(&mut self, region: u32) {
+        for r in &mut self.replicas {
+            if r.home == region {
+                r.up = true;
+            }
+        }
+    }
+
+    /// Sever connectivity between replicas homed in the two regions.
+    pub fn cut_regions(&mut self, a: u32, b: u32) {
+        if a != b {
+            self.cuts.insert((a.min(b), a.max(b)));
+        }
+    }
+
+    pub fn heal_regions(&mut self, a: u32, b: u32) {
+        self.cuts.remove(&(a.min(b), a.max(b)));
+    }
+
+    // ------------------------------------------------------------ lease + tick
+
+    /// Advance the lease machinery to `now`: a healthy quorum-holding
+    /// leader renews; a lapsed lease triggers a deterministic election.
+    /// Also runs anti-entropy catchup for lagging reachable followers.
+    /// Returns the new leader's id if an election happened this tick.
+    pub fn tick(&mut self, now: SimTime) -> Option<u32> {
+        // Renew first: a live leader that can commit keeps its lease
+        // fresh regardless of write traffic.
+        if let Some(l) = self.leader {
+            if self.has_quorum(l) {
+                self.lease_until = self.lease_until.max(now + self.lease);
+            }
+        }
+        // Drain due lease deadlines off the wheel (lazy revalidation:
+        // stale-epoch keys die here, renewed leases re-arm).
+        let mut due = std::mem::take(&mut self.lease_scratch);
+        self.lease_wheel.due(now, &mut due);
+        let mut lapsed = false;
+        for key in due.drain(..) {
+            if key != self.epoch {
+                continue; // deposed epoch's deadline
+            }
+            if self.lease_until > now {
+                self.lease_wheel.arm(self.lease_until, self.epoch);
+            } else {
+                lapsed = true;
+            }
+        }
+        self.lease_scratch = due;
+        let mut elected = None;
+        if lapsed {
+            elected = self.elect(now);
+        }
+        // Anti-entropy: bring reachable followers up to date even
+        // without new writes, so watches fired before a crash get
+        // re-delivered after repair without waiting for traffic.
+        if let Some(l) = self.leader {
+            if self.has_quorum(l) {
+                self.catch_up_followers(l);
+            }
+        }
+        elected
+    }
+
+    /// Deterministic election at lease expiry: among up replicas that
+    /// can reach a majority, pick the longest log, tie-break lowest id.
+    /// The winner's first commit is `TouchSessions`, so sessions survive
+    /// the leaderless window.
+    fn elect(&mut self, now: SimTime) -> Option<u32> {
+        let winner = (0..self.replica_count())
+            .filter(|&id| self.has_quorum(id))
+            .max_by_key(|&id| (self.replicas[id as usize].log.last_index(), std::cmp::Reverse(id)));
+        match winner {
+            None => {
+                // Leaderless: nobody can commit. Re-arm one lease ahead
+                // so the next tick past it re-runs the election.
+                self.leader = None;
+                self.lease_until = now + self.lease;
+                self.lease_wheel.arm(self.lease_until, self.epoch);
+                None
+            }
+            Some(w) => {
+                let changed = self.leader != Some(w);
+                self.leader = Some(w);
+                self.epoch += 1;
+                if changed {
+                    self.elections += 1;
+                }
+                self.lease_until = now + self.lease;
+                self.lease_wheel.arm(self.lease_until, self.epoch);
+                self.catch_up_followers(w);
+                let _ = self.commit_as(w, ZkOp::TouchSessions, now);
+                Some(w)
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- commits
+
+    /// Submit an op to replica `target`, as a client would. Non-leaders
+    /// redirect with a hint; a leader that cannot assemble a majority
+    /// (or whose lease lapsed) refuses with `NotLeader { hint: None }`.
+    pub fn submit_to(&mut self, target: u32, op: ZkOp, now: SimTime) -> ZkResult<ZkResp> {
+        let target = target % self.replica_count();
+        match self.leader {
+            Some(l) if l == target => {}
+            other => {
+                // Only hint at a leader that is actually serviceable.
+                let hint = other.filter(|&l| self.has_quorum(l));
+                return Err(ZkError::NotLeader { hint });
+            }
+        }
+        // A quorum-holding leader serves even if its lease deadline has
+        // passed on the wall: committing renews the lease (renewal on
+        // contact), and lease expiry only *triggers elections* in
+        // `tick` — it never fences a leader that still owns a majority.
+        // Split-brain is impossible here because the ensemble is one
+        // state machine; the lease models detection latency, not safety.
+        if !self.has_quorum(target) {
+            return Err(ZkError::NotLeader { hint: None });
+        }
+        // Session fencing: the first op a session sends to a leader of a
+        // newer epoch is refused once with SessionMoved; the refusal
+        // records the reconnect, so the client's retry lands.
+        if let Some(sid) = op.session_ref() {
+            let e = self.session_epoch.entry(sid).or_insert(self.epoch);
+            if *e != self.epoch {
+                *e = self.epoch;
+                return Err(ZkError::SessionMoved { session: sid.0 });
+            }
+        }
+        self.commit_as(target, op, now)
+    }
+
+    /// Append + replicate + apply, with the quorum precondition already
+    /// checked. Every reachable up follower is caught up and receives
+    /// the entry, so acked ⇔ majority-replicated by construction.
+    fn commit_as(&mut self, l: u32, op: ZkOp, now: SimTime) -> ZkResult<ZkResp> {
+        self.lease_until = self.lease_until.max(now + self.lease);
+        self.catch_up_followers(l);
+        let entry = LogEntry {
+            index: self.replicas[l as usize].log.last_index() + 1,
+            epoch: self.epoch,
+            at: now,
+            op,
+        };
+        if let Some(sid) = entry.op.session_ref() {
+            self.session_epoch.insert(sid, self.epoch);
+        }
+        let mut resp = None;
+        for id in 0..self.replica_count() {
+            if id != l && !self.reachable(l, id) {
+                continue;
+            }
+            let r = &mut self.replicas[id as usize];
+            r.log.append(entry.clone());
+            let out = r.store.apply(&entry.op, entry.at);
+            r.applied = entry.index;
+            r.log.truncate_to_last(self.max_log);
+            if id == l {
+                resp = Some(out);
+            }
+        }
+        let resp = resp.expect("leader always applies its own entry");
+        // Session lifecycle bookkeeping on the committed outcome.
+        match (&entry.op, &resp) {
+            (ZkOp::CreateSession, Ok(ZkResp::Session(sid))) => {
+                self.session_epoch.insert(*sid, self.epoch);
+            }
+            (ZkOp::CloseSession { session }, _) => {
+                self.session_epoch.remove(session);
+            }
+            (ZkOp::ExpireSessions, Ok(ZkResp::Sessions(dead))) => {
+                for sid in dead {
+                    self.session_epoch.remove(sid);
+                }
+            }
+            _ => {}
+        }
+        resp
+    }
+
+    /// Bring every reachable up follower to the leader's log position:
+    /// replay the retained tail, or install a snapshot when the tail has
+    /// been truncated away.
+    fn catch_up_followers(&mut self, l: u32) {
+        for id in 0..self.replica_count() {
+            if id == l || !self.reachable(l, id) {
+                continue;
+            }
+            let (leader, follower) = pair_mut(&mut self.replicas, l as usize, id as usize);
+            if follower.log.last_index() >= leader.log.last_index() {
+                continue;
+            }
+            match leader.log.tail_from(follower.log.last_index() + 1) {
+                Some(tail) => {
+                    for e in tail {
+                        follower.log.append(e.clone());
+                        let _ = follower.store.apply(&e.op, e.at);
+                        follower.applied = e.index;
+                    }
+                }
+                None => {
+                    follower.store = leader.store.snapshot();
+                    follower.log = leader.log.clone();
+                    follower.applied = leader.applied;
+                }
+            }
+            follower.log.truncate_to_last(self.max_log);
+        }
+    }
+}
+
+/// Client-side leader discovery: tracks a leader hint, follows
+/// `NotLeader` redirects, probes round-robin while leaderless, and
+/// accounts deterministic jittered backoff between attempts. In the
+/// synchronous simulation the backoff time is *accounted* (visible in
+/// `backoff_spent`) rather than advancing the clock mid-call.
+#[derive(Debug)]
+pub struct ZkClient {
+    hint: u32,
+    policy: RetryPolicy,
+    jitter: SimRng,
+    /// Redirects followed (stale hint corrected by a `NotLeader` hint).
+    pub redirects: u64,
+    /// `SessionMoved` reconnect handshakes absorbed.
+    pub session_moves: u64,
+    /// Total backoff delay accounted across all retries.
+    pub backoff_spent: SimDuration,
+}
+
+impl ZkClient {
+    pub fn new(seed: u64, policy: RetryPolicy) -> Self {
+        // Dedicated jitter stream: forked off the config seed so retry
+        // storms can never perturb a workload stream, even if the seeds
+        // collide (same isolation rule as the fault stream).
+        let mut root = SimRng::new(seed);
+        ZkClient {
+            hint: 0,
+            policy,
+            jitter: root.fork(0x6a17),
+            redirects: 0,
+            session_moves: 0,
+            backoff_spent: SimDuration::ZERO,
+        }
+    }
+
+    /// Override the cached leader hint. Tests and benches use this to
+    /// exercise the redirect path by pointing the client at a follower.
+    pub fn set_hint(&mut self, hint: u32) {
+        self.hint = hint;
+    }
+
+    /// Submit through leader discovery with bounded deterministic
+    /// retries. Returns the committed outcome, or the last refusal once
+    /// the policy's retry budget is exhausted (the ensemble is down or
+    /// leaderless; the caller degrades instead of blocking).
+    pub fn submit(&mut self, ens: &mut ZkEnsemble, op: ZkOp, now: SimTime) -> ZkResult<ZkResp> {
+        let mut attempt = 0u32;
+        loop {
+            match ens.submit_to(self.hint, op.clone(), now) {
+                Err(err @ (ZkError::NotLeader { .. } | ZkError::SessionMoved { .. })) => {
+                    attempt += 1;
+                    match &err {
+                        ZkError::NotLeader { hint: Some(h) } => {
+                            if *h != self.hint {
+                                self.hint = *h;
+                                self.redirects += 1;
+                            }
+                        }
+                        ZkError::NotLeader { hint: None } => {
+                            // Leaderless: probe the next replica.
+                            self.hint = (self.hint + 1) % ens.replica_count();
+                        }
+                        ZkError::SessionMoved { .. } => {
+                            self.session_moves += 1;
+                        }
+                        _ => unreachable!(),
+                    }
+                    if attempt > self.policy.max_retries {
+                        return Err(err);
+                    }
+                    self.backoff_spent =
+                        self.backoff_spent + self.policy.backoff(attempt, &mut self.jitter);
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+}
+
+/// The coordination endpoint the shard manager talks to: either the
+/// original single in-process store, or a replicated ensemble fronted by
+/// a leader-discovering client. The `Single` path is byte-for-byte the
+/// pre-replication behaviour, so existing goldens replay unchanged.
+#[derive(Debug)]
+pub enum CoordinationPlane {
+    Single(ZkStore),
+    Replicated {
+        ensemble: ZkEnsemble,
+        client: ZkClient,
+    },
+}
+
+impl CoordinationPlane {
+    pub fn single(session: SessionConfig) -> Self {
+        CoordinationPlane::Single(ZkStore::new(session))
+    }
+
+    pub fn replicated(cfg: &ZkReplicationConfig) -> Self {
+        CoordinationPlane::Replicated {
+            ensemble: ZkEnsemble::new(cfg),
+            client: ZkClient::new(cfg.seed, cfg.retry),
+        }
+    }
+
+    pub fn is_replicated(&self) -> bool {
+        matches!(self, CoordinationPlane::Replicated { .. })
+    }
+
+    /// Lease/election heartbeat; no-op on the single store. Returns the
+    /// newly elected leader if a failover completed this tick.
+    pub fn tick(&mut self, now: SimTime) -> Option<u32> {
+        match self {
+            CoordinationPlane::Single(_) => None,
+            CoordinationPlane::Replicated { ensemble, .. } => ensemble.tick(now),
+        }
+    }
+
+    pub fn create_session(&mut self, now: SimTime) -> ZkResult<SessionId> {
+        match self {
+            CoordinationPlane::Single(zk) => Ok(zk.create_session(now)),
+            CoordinationPlane::Replicated { ensemble, client } => {
+                match client.submit(ensemble, ZkOp::CreateSession, now)? {
+                    ZkResp::Session(sid) => Ok(sid),
+                    other => unreachable!("CreateSession returned {other:?}"),
+                }
+            }
+        }
+    }
+
+    pub fn create_recursive(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        kind: NodeKind,
+        session: Option<SessionId>,
+        now: SimTime,
+    ) -> ZkResult<()> {
+        match self {
+            CoordinationPlane::Single(zk) => zk.create_recursive(path, data, kind, session, now),
+            CoordinationPlane::Replicated { ensemble, client } => client
+                .submit(
+                    ensemble,
+                    ZkOp::CreateRecursive {
+                        path: path.to_string(),
+                        data: data.to_vec(),
+                        kind,
+                        session,
+                    },
+                    now,
+                )
+                .map(|_| ()),
+        }
+    }
+
+    pub fn watch(&mut self, path: &str, kind: WatchKind, token: u64, now: SimTime) -> ZkResult<()> {
+        match self {
+            CoordinationPlane::Single(zk) => zk.watch(path, kind, token),
+            CoordinationPlane::Replicated { ensemble, client } => client
+                .submit(
+                    ensemble,
+                    ZkOp::Watch {
+                        path: path.to_string(),
+                        kind,
+                        token,
+                    },
+                    now,
+                )
+                .map(|_| ()),
+        }
+    }
+
+    /// Refresh a session's heartbeat. `false` when the session is gone
+    /// — or, in degraded mode, when the plane is unreachable *and* the
+    /// refresh could not be recorded (the election-time `TouchSessions`
+    /// covers the gap, so this is safe to ignore).
+    pub fn refresh_session(&mut self, session: SessionId, now: SimTime) -> bool {
+        match self {
+            CoordinationPlane::Single(zk) => zk.refresh_session(session, now),
+            CoordinationPlane::Replicated { ensemble, client } => {
+                match client.submit(ensemble, ZkOp::RefreshSession { session }, now) {
+                    Ok(ZkResp::Refreshed(alive)) => alive,
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Best-effort close; losing the race to a dead plane is fine (the
+    /// session will expire once the plane recovers).
+    pub fn close_session(&mut self, session: SessionId, now: SimTime) {
+        match self {
+            CoordinationPlane::Single(zk) => zk.close_session(session, now),
+            CoordinationPlane::Replicated { ensemble, client } => {
+                let _ = client.submit(ensemble, ZkOp::CloseSession { session }, now);
+            }
+        }
+    }
+
+    /// Degraded-but-live: while the plane is leaderless nobody expires
+    /// (an unreachable coordinator must not declare the fleet dead);
+    /// expiry resumes, with touched heartbeats, after failover.
+    pub fn expire_sessions(&mut self, now: SimTime) -> Vec<SessionId> {
+        match self {
+            CoordinationPlane::Single(zk) => zk.expire_sessions(now),
+            CoordinationPlane::Replicated { ensemble, client } => {
+                match client.submit(ensemble, ZkOp::ExpireSessions, now) {
+                    Ok(ZkResp::Sessions(dead)) => dead,
+                    _ => Vec::new(),
+                }
+            }
+        }
+    }
+
+    pub fn drain_events(&mut self, now: SimTime) -> Vec<WatchEvent> {
+        match self {
+            CoordinationPlane::Single(zk) => zk.drain_events(),
+            CoordinationPlane::Replicated { ensemble, client } => {
+                match client.submit(ensemble, ZkOp::DrainEvents, now) {
+                    Ok(ZkResp::Events(evs)) => evs,
+                    _ => Vec::new(),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------- health + faults
+
+    pub fn leader(&self) -> Option<u32> {
+        match self {
+            CoordinationPlane::Single(_) => Some(0),
+            CoordinationPlane::Replicated { ensemble, .. } => ensemble.leader(),
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        match self {
+            CoordinationPlane::Single(_) => 1,
+            CoordinationPlane::Replicated { ensemble, .. } => ensemble.epoch(),
+        }
+    }
+
+    /// Leader changes since startup (0 for the single store).
+    pub fn failovers(&self) -> u64 {
+        match self {
+            CoordinationPlane::Single(_) => 0,
+            CoordinationPlane::Replicated { ensemble, .. } => ensemble.elections(),
+        }
+    }
+
+    /// `SessionMoved` reconnect handshakes absorbed by the client.
+    pub fn session_moves(&self) -> u64 {
+        match self {
+            CoordinationPlane::Single(_) => 0,
+            CoordinationPlane::Replicated { client, .. } => client.session_moves,
+        }
+    }
+
+    /// Crash every ensemble replica homed in `region`; no-op when single.
+    pub fn crash_home(&mut self, region: u32) {
+        if let CoordinationPlane::Replicated { ensemble, .. } = self {
+            ensemble.crash_home(region);
+        }
+    }
+
+    pub fn restore_home(&mut self, region: u32) {
+        if let CoordinationPlane::Replicated { ensemble, .. } = self {
+            ensemble.restore_home(region);
+        }
+    }
+
+    pub fn cut_regions(&mut self, a: u32, b: u32) {
+        if let CoordinationPlane::Replicated { ensemble, .. } = self {
+            ensemble.cut_regions(a, b);
+        }
+    }
+
+    pub fn heal_regions(&mut self, a: u32, b: u32) {
+        if let CoordinationPlane::Replicated { ensemble, .. } = self {
+            ensemble.heal_regions(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn ensemble() -> ZkEnsemble {
+        ZkEnsemble::new(&ZkReplicationConfig::default())
+    }
+
+    #[test]
+    fn initial_leader_commits_everywhere() {
+        let mut ens = ensemble();
+        let resp = ens
+            .submit_to(
+                0,
+                ZkOp::Create {
+                    path: "/a".into(),
+                    data: b"x".to_vec(),
+                    kind: NodeKind::Persistent,
+                    session: None,
+                },
+                t(1),
+            )
+            .unwrap();
+        assert_eq!(resp, ZkResp::Unit);
+        let d0 = ens.replica_digest(0);
+        assert_eq!(d0, ens.replica_digest(1));
+        assert_eq!(d0, ens.replica_digest(2));
+    }
+
+    #[test]
+    fn follower_redirects_with_hint() {
+        let mut ens = ensemble();
+        let err = ens.submit_to(1, ZkOp::CreateSession, t(1)).unwrap_err();
+        assert_eq!(err, ZkError::NotLeader { hint: Some(0) });
+    }
+
+    #[test]
+    fn leader_crash_fails_over_after_lease() {
+        let mut ens = ensemble();
+        ens.submit_to(0, ZkOp::CreateSession, t(1)).unwrap();
+        ens.tick(t(1));
+        ens.crash_replica(0);
+        // Lease still held: no election yet, writes refused.
+        assert!(ens.tick(t(2)).is_none());
+        assert!(matches!(
+            ens.submit_to(0, ZkOp::CreateSession, t(2)),
+            Err(ZkError::NotLeader { hint: None })
+        ));
+        // Past the lease the survivors elect deterministically: equal
+        // logs, lowest id wins.
+        let new = ens.tick(t(10)).expect("election");
+        assert_eq!(new, 1);
+        assert_eq!(ens.leader(), Some(1));
+        assert!(ens.elections() >= 1);
+        ens.submit_to(1, ZkOp::CreateSession, t(10)).unwrap();
+    }
+
+    #[test]
+    fn minority_leader_refuses_writes() {
+        let mut ens = ensemble(); // homes 0,1,2
+        ens.cut_regions(0, 1);
+        ens.cut_regions(0, 2);
+        assert!(matches!(
+            ens.submit_to(0, ZkOp::CreateSession, t(1)),
+            Err(ZkError::NotLeader { hint: None })
+        ));
+        // Majority side elects once the lease lapses.
+        let new = ens.tick(t(10)).expect("majority-side election");
+        assert_eq!(new, 1);
+        ens.submit_to(new, ZkOp::CreateSession, t(10)).unwrap();
+    }
+
+    #[test]
+    fn client_follows_redirects_and_survives_failover() {
+        let cfg = ZkReplicationConfig::default();
+        let mut ens = ZkEnsemble::new(&cfg);
+        let mut client = ZkClient::new(cfg.seed, cfg.retry);
+        let sid = match client.submit(&mut ens, ZkOp::CreateSession, t(1)).unwrap() {
+            ZkResp::Session(s) => s,
+            other => panic!("{other:?}"),
+        };
+        ens.crash_replica(0);
+        ens.tick(t(10));
+        // First session op after failover absorbs one SessionMoved.
+        let resp = client
+            .submit(&mut ens, ZkOp::RefreshSession { session: sid }, t(10))
+            .unwrap();
+        assert_eq!(resp, ZkResp::Refreshed(true));
+        assert_eq!(client.session_moves, 1);
+        assert!(client.redirects >= 1);
+    }
+
+    #[test]
+    fn catchup_installs_snapshot_past_truncation() {
+        let mut cfg = ZkReplicationConfig::default();
+        cfg.max_log = 4;
+        let mut ens = ZkEnsemble::new(&cfg);
+        ens.crash_replica(2);
+        for i in 0..20u32 {
+            ens.submit_to(
+                0,
+                ZkOp::Create {
+                    path: format!("/n{i}"),
+                    data: vec![],
+                    kind: NodeKind::Persistent,
+                    session: None,
+                },
+                t(1),
+            )
+            .unwrap();
+        }
+        ens.restore_replica(2);
+        ens.tick(t(2));
+        assert_eq!(ens.replica_digest(2), ens.replica_digest(0));
+        assert!(ens.replica_log_start(2) > 1, "snapshot path was taken");
+    }
+
+    #[test]
+    fn touch_sessions_preserves_sessions_across_failover() {
+        let mut cfg = ZkReplicationConfig::default();
+        cfg.session = SessionConfig {
+            timeout: SimDuration::from_secs(5),
+        };
+        let mut ens = ZkEnsemble::new(&cfg);
+        let sid = match ens.submit_to(0, ZkOp::CreateSession, t(0)).unwrap() {
+            ZkResp::Session(s) => s,
+            other => panic!("{other:?}"),
+        };
+        ens.crash_replica(0);
+        // Leaderless gap far past the session timeout.
+        let new = ens.tick(t(60)).expect("election");
+        // TouchSessions at election time keeps the session alive.
+        let resp = ens
+            .submit_to(new, ZkOp::ExpireSessions, t(61))
+            .unwrap();
+        assert_eq!(resp, ZkResp::Sessions(vec![]), "session {sid} survived");
+    }
+}

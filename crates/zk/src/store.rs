@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use scalewall_sim::{DeadlineQueue, SimDuration, SimTime};
 
 use crate::error::{ZkError, ZkResult};
+use crate::log::{ZkOp, ZkResp};
 use crate::session::{Session, SessionConfig, SessionId};
 use crate::watch::{WatchEvent, WatchEventKind, WatchKind, WatchReg};
 
@@ -33,7 +34,7 @@ pub struct NodeStat {
     pub num_children: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     data: Vec<u8>,
     version: u64,
@@ -245,9 +246,14 @@ impl ZkStore {
         let Some(s) = self.sessions.remove(&session) else {
             return;
         };
-        // Delete deepest-first so parents empty out before their own delete.
+        // Pinned order: ascending path. Ephemerals are always leaves
+        // (they cannot have children), so no delete can be blocked by a
+        // sibling ephemeral and plain lexicographic order is safe. This
+        // single order is shared by explicit close, expiry, and the
+        // replicated apply path, and `tests/replay_order.rs` pins the
+        // resulting watch-event sequence.
         let mut paths = s.ephemerals;
-        paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        paths.sort_unstable();
         for path in paths {
             // Ignore errors: the node may already be gone.
             let _ = self.delete_inner(&path, None, now, /* bypass_owner */ true);
@@ -510,6 +516,144 @@ impl ZkStore {
     /// Drain all watch events fired since the last drain.
     pub fn drain_events(&mut self) -> Vec<WatchEvent> {
         std::mem::take(&mut self.pending_events)
+    }
+
+    // ------------------------------------------------------- replicated apply
+
+    /// The single apply path shared by the standalone store and every
+    /// replica of the replicated coordination plane: apply one logged
+    /// operation at the (replicated) timestamp `at`.
+    ///
+    /// Apply is a pure function of `(state, op, at)`; errors are
+    /// deterministic committed outcomes (a `BadVersion` commits on every
+    /// replica and returns `Err` on every replica), never rollbacks.
+    pub fn apply(&mut self, op: &ZkOp, at: SimTime) -> ZkResult<ZkResp> {
+        match op {
+            ZkOp::Create {
+                path,
+                data,
+                kind,
+                session,
+            } => self
+                .create(path, data, *kind, *session, at)
+                .map(|()| ZkResp::Unit),
+            ZkOp::CreateRecursive {
+                path,
+                data,
+                kind,
+                session,
+            } => self
+                .create_recursive(path, data, *kind, *session, at)
+                .map(|()| ZkResp::Unit),
+            ZkOp::SetData {
+                path,
+                data,
+                expected_version,
+            } => self
+                .set_data(path, data, *expected_version, at)
+                .map(ZkResp::Version),
+            ZkOp::Delete {
+                path,
+                expected_version,
+            } => self.delete(path, *expected_version, at).map(|()| ZkResp::Unit),
+            ZkOp::CreateSession => Ok(ZkResp::Session(self.create_session(at))),
+            ZkOp::Heartbeat { session } => self.heartbeat(*session, at).map(|()| ZkResp::Unit),
+            ZkOp::RefreshSession { session } => {
+                Ok(ZkResp::Refreshed(self.refresh_session(*session, at)))
+            }
+            ZkOp::CloseSession { session } => {
+                self.close_session(*session, at);
+                Ok(ZkResp::Unit)
+            }
+            ZkOp::ExpireSessions => Ok(ZkResp::Sessions(self.expire_sessions(at))),
+            ZkOp::Watch { path, kind, token } => {
+                self.watch(path, *kind, *token).map(|()| ZkResp::Unit)
+            }
+            ZkOp::DrainEvents => Ok(ZkResp::Events(self.drain_events())),
+            ZkOp::TouchSessions => {
+                self.touch_sessions(at);
+                Ok(ZkResp::Unit)
+            }
+        }
+    }
+
+    /// Reset every live session's heartbeat to `now`. Committed by a
+    /// newly elected leader so sessions are not punished for the
+    /// leaderless window during which nobody could heartbeat.
+    pub fn touch_sessions(&mut self, now: SimTime) {
+        for s in self.sessions.values_mut() {
+            s.last_heartbeat = now;
+        }
+    }
+
+    /// A full copy of the logical state, used for follower catchup when
+    /// the leader's log has been truncated past the follower's position.
+    ///
+    /// The deadline wheel is not clonable (it is kernel state, not
+    /// logical state); it is rebuilt by re-arming every live session at
+    /// its current expiry deadline. `expire_sessions` re-validates and
+    /// sorts its candidates, so wheel-entry provenance never affects the
+    /// expiry outcome or order.
+    pub fn snapshot(&self) -> ZkStore {
+        let mut expiry = DeadlineQueue::new();
+        for (id, s) in &self.sessions {
+            expiry.arm(Self::expiry_deadline(s), *id);
+        }
+        ZkStore {
+            nodes: self.nodes.clone(),
+            sessions: self.sessions.clone(),
+            watches: self.watches.clone(),
+            pending_events: self.pending_events.clone(),
+            next_session: self.next_session,
+            session_config: self.session_config,
+            expiry,
+            expiry_scratch: Vec::new(),
+        }
+    }
+
+    /// FNV-1a digest of the linearizable-visible state: nodes, sessions
+    /// and their ephemeral sets, watch registrations, and undrained
+    /// events. Session heartbeat times are deliberately excluded — they
+    /// are refreshed wholesale by `TouchSessions` at elections, and two
+    /// stores that agree on everything else are observationally equal.
+    pub fn state_digest(&self) -> u64 {
+        const PRIME: u64 = 0x100000001b3;
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h = (*h ^ b as u64).wrapping_mul(PRIME);
+            }
+        }
+        fn eat_u64(h: &mut u64, v: u64) {
+            eat(h, &v.to_le_bytes());
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for (path, node) in &self.nodes {
+            eat(&mut h, path.as_bytes());
+            eat(&mut h, &node.data);
+            eat_u64(&mut h, node.version);
+            eat_u64(&mut h, matches!(node.kind, NodeKind::Ephemeral) as u64);
+            eat_u64(&mut h, node.owner.map(|s| s.0).unwrap_or(0));
+        }
+        for (id, s) in &self.sessions {
+            eat_u64(&mut h, id.0);
+            let mut eph = s.ephemerals.clone();
+            eph.sort_unstable();
+            for p in &eph {
+                eat(&mut h, p.as_bytes());
+            }
+        }
+        for (path, regs) in &self.watches {
+            eat(&mut h, path.as_bytes());
+            for r in regs {
+                eat_u64(&mut h, r.token);
+            }
+        }
+        for ev in &self.pending_events {
+            eat(&mut h, ev.path.as_bytes());
+            eat_u64(&mut h, ev.token);
+        }
+        eat_u64(&mut h, self.next_session);
+        h
     }
 
     fn fire(&mut self, path: &str, ev: WatchEventKind) {

@@ -34,16 +34,28 @@ cargo test -q --offline --workspace
 cargo test -q --offline --test fault_scenarios
 cargo run --release --offline -p scalewall-bench --bin fig2b_correlated_sweep -- --fast >/dev/null
 
+# Replicated coordination plane (ISSUE 8): the linearizability-vs-oracle
+# property suite and the replay-order pins must stay green.
+cargo test -q --offline --test zk_replication
+cargo test -q --offline --test replay_order
+
 # Event-kernel microbench gate (ISSUE 7): smoke-run the kernel bench
 # (every body once, no --bench), emit a JSON report, and validate both
 # the fresh emission and the checked-in trajectory with the in-repo
 # parser. Malformed output fails the build.
 kernel_bench="$(mktemp /tmp/scalewall-event-kernel.XXXXXX.json)"
-trap 'rm -f "$kernel_bench"' EXIT
+zk_bench="$(mktemp /tmp/scalewall-zk-replication.XXXXXX.json)"
+trap 'rm -f "$kernel_bench" "$zk_bench"' EXIT
 # (`cargo test --bench` runs the target *without* cargo's `--bench` flag,
 # i.e. in single-shot smoke mode; `--validate` exits before any timing.)
 cargo test -q --offline -p scalewall-bench --bench event_kernel -- --json "$kernel_bench" >/dev/null
 cargo test -q --offline -p scalewall-bench --bench event_kernel -- --validate "$kernel_bench"
 cargo test -q --offline -p scalewall-bench --bench event_kernel -- --validate "$PWD/BENCH_event_kernel.json"
+
+# Coordination-replication microbench gate (ISSUE 8): same smoke +
+# validate recipe for the zk_replication bench and its trajectory.
+cargo test -q --offline -p scalewall-bench --bench zk_replication -- --json "$zk_bench" >/dev/null
+cargo test -q --offline -p scalewall-bench --bench zk_replication -- --validate "$zk_bench"
+cargo test -q --offline -p scalewall-bench --bench zk_replication -- --validate "$PWD/BENCH_zk_replication.json"
 
 echo "tier-1 verify: OK (offline)"

@@ -19,6 +19,7 @@ use scalewall::cluster::experiment::{Experiment, ExperimentConfig, ExperimentSta
 use scalewall::cluster::fault::{FaultKind, FaultScript};
 use scalewall::cluster::workload::WorkloadConfig;
 use scalewall::sim::{SimDuration, SimTime};
+use scalewall::zk::ZkReplicationConfig;
 
 const DURATION: SimDuration = SimDuration::from_hours(12);
 
@@ -28,15 +29,23 @@ fn hours(h: u64) -> SimTime {
 
 /// A 3-region, 24-hosts-per-region (4 racks of 6) deployment with all
 /// background noise disabled, so the only disturbance is the script.
-fn run_scenario(seed: u64, faults: FaultScript) -> ExperimentStats {
+/// With `replicated` set, each region's shard manager runs against a
+/// 3-node coordination ensemble spread across the fault regions (the
+/// ensemble's initial leader homed in the owning region), so coordinator
+/// faults hit a real replicated plane instead of an unkillable store.
+fn run_scenario_with(seed: u64, faults: FaultScript, replicated: bool) -> ExperimentStats {
+    let mut deployment = DeploymentConfig {
+        regions: 3,
+        hosts_per_region: 24,
+        racks_per_region: 4,
+        max_shards: 100_000,
+        ..Default::default()
+    };
+    if replicated {
+        deployment.sm.replication = Some(ZkReplicationConfig::default());
+    }
     let config = ExperimentConfig {
-        deployment: DeploymentConfig {
-            regions: 3,
-            hosts_per_region: 24,
-            racks_per_region: 4,
-            max_shards: 100_000,
-            ..Default::default()
-        },
+        deployment,
         workload: WorkloadConfig {
             tables: 8,
             ..Default::default()
@@ -70,6 +79,8 @@ fn fingerprint(stats: &ExperimentStats) -> Vec<u64> {
         stats.region_failovers,
         stats.same_table_collisions,
         stats.population_fingerprint,
+        stats.zk_failovers,
+        stats.zk_session_moves,
     ];
     f.extend(stats.migrations_per_day.iter().copied());
     f.extend(stats.repairs_per_day.iter().copied());
@@ -80,9 +91,18 @@ fn fingerprint(stats: &ExperimentStats) -> Vec<u64> {
 /// Run the scenario twice and enforce contract points (a)–(c); returns
 /// the stats for scenario-specific assertions.
 fn check_scenario(name: &str, seed: u64, script: FaultScript) -> ExperimentStats {
-    println!("scenario `{name}` seed {seed:#x} — replay with run_scenario({seed:#x}, ...)");
-    let stats = run_scenario(seed, script.clone());
-    let replay = run_scenario(seed, script.clone());
+    check_scenario_with(name, seed, script, false)
+}
+
+fn check_scenario_with(
+    name: &str,
+    seed: u64,
+    script: FaultScript,
+    replicated: bool,
+) -> ExperimentStats {
+    println!("scenario `{name}` seed {seed:#x} — replay with run_scenario_with({seed:#x}, ...)");
+    let stats = run_scenario_with(seed, script.clone(), replicated);
+    let replay = run_scenario_with(seed, script.clone(), replicated);
     assert_eq!(
         fingerprint(&stats),
         fingerprint(&replay),
@@ -229,4 +249,67 @@ fn partition_during_drain_storm_compound() {
         stats.region_failovers > 0,
         "region-1 clients must have failed over around the cut"
     );
+}
+
+/// **Coordinator-region outage** (fig2b-shaped, replicated plane): region
+/// 0 dies for two hours with the coordination leader of its own ensemble
+/// homed *inside* the dead region. The ensemble must fail over
+/// automatically (lease expiry → deterministic election → `TouchSessions`),
+/// traffic reroutes as in the plain region-outage scenario, no host is
+/// spuriously expired during the leaderless window, and the whole run —
+/// including failover counts — replays bit-identically.
+#[test]
+fn coordinator_region_outage_fails_over_automatically() {
+    let script = FaultScript::new().with(
+        FaultKind::RegionOutage { region: 0 },
+        hours(2),
+        SimDuration::from_hours(2),
+    );
+    let stats = check_scenario_with("coordinator_region_outage", 0xFA017_06, script, true);
+    assert_eq!(stats.fault_injections, 1);
+    assert_eq!(stats.fault_repairs, 1);
+    assert!(
+        stats.zk_failovers >= 1,
+        "killing the leader's home region must force a coordination failover"
+    );
+    assert!(
+        stats.zk_session_moves > 0,
+        "post-failover heartbeats must absorb SessionMoved reconnects"
+    );
+    // Coordination loss must not translate into query loss beyond the
+    // routed-around region outage itself.
+    assert!(
+        stats.success_ratio() > 0.99,
+        "coordination failover should be invisible to traffic, got {:.4}",
+        stats.success_ratio()
+    );
+    // No host was spuriously expired during the leaderless window: zero
+    // failover migrations means no session was declared dead.
+    assert_eq!(
+        stats.failover_migrations, 0,
+        "degraded-but-live: the leaderless window must not expire live hosts"
+    );
+}
+
+/// The coordinator's rack alone dies (`ZkNodeCrash`): every replica
+/// homed in region 1 crashes, but application hosts are untouched.
+/// Ensembles whose leader lived there fail over; traffic never notices.
+#[test]
+fn zk_node_crash_is_invisible_to_traffic() {
+    let script = FaultScript::new().with(
+        FaultKind::ZkNodeCrash { region: 1 },
+        hours(3),
+        SimDuration::from_hours(1),
+    );
+    let stats = check_scenario_with("zk_node_crash", 0xFA017_07, script, true);
+    assert!(
+        stats.zk_failovers >= 1,
+        "region 1's own ensemble lost its leader and must re-elect"
+    );
+    assert!(
+        stats.success_ratio() > 0.999,
+        "a coordinator-only fault must not fail queries, got {:.4}",
+        stats.success_ratio()
+    );
+    assert_eq!(stats.failover_migrations, 0);
 }

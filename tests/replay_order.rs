@@ -13,7 +13,9 @@ use scalewall::shard_manager::ids::{HostId, HostInfo, HostState, Rack, Region, S
 use scalewall::shard_manager::placement::HostSnapshot;
 use scalewall::shard_manager::spec::BalancerConfig;
 use scalewall::sim::{SimRng, SimTime};
-use scalewall::zk::{NodeKind, WatchEventKind, WatchKind, ZkStore};
+use scalewall::zk::{
+    NodeKind, WatchEventKind, WatchKind, ZkEnsemble, ZkOp, ZkReplicationConfig, ZkResp, ZkStore,
+};
 
 // ------------------------------------------------------------------ zk
 
@@ -76,6 +78,93 @@ fn zk_mass_expiry_event_sequence_is_pinned() {
         })
         .collect();
     assert_eq!(events, expect);
+}
+
+#[test]
+fn zk_close_session_deletes_ephemerals_in_path_order() {
+    // One session owning several ephemerals registered out of order:
+    // explicit close must delete them in ascending-path order — the one
+    // pinned order shared by close, mass expiry, and the replicated
+    // apply path (`ZkStore::close_session_inner`).
+    let t0 = SimTime::from_secs(0);
+    let mut zk = ZkStore::default();
+    zk.create("/svc", b"", NodeKind::Persistent, None, t0).unwrap();
+    let sid = zk.create_session(t0);
+    for name in ["c", "a", "b"] {
+        let path = format!("/svc/{name}");
+        zk.create(&path, b"", NodeKind::Ephemeral, Some(sid), t0).unwrap();
+        zk.watch(&path, WatchKind::Node, name.as_bytes()[0] as u64).unwrap();
+    }
+    zk.drain_events();
+    zk.close_session(sid, SimTime::from_secs(1));
+    let single: Vec<(String, WatchEventKind, u64)> = zk
+        .drain_events()
+        .into_iter()
+        .map(|e| (e.path, e.kind, e.token))
+        .collect();
+    let expect: Vec<(String, WatchEventKind, u64)> = ["a", "b", "c"]
+        .iter()
+        .map(|n| {
+            (
+                format!("/svc/{n}"),
+                WatchEventKind::Deleted,
+                n.as_bytes()[0] as u64,
+            )
+        })
+        .collect();
+    assert_eq!(single, expect, "close_session must delete in path order");
+
+    // The replicated apply path shares the same order: a CloseSession op
+    // committed through an ensemble yields the identical event stream.
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = ZkEnsemble::new(&cfg);
+    ens.submit_to(
+        0,
+        ZkOp::Create {
+            path: "/svc".into(),
+            data: vec![],
+            kind: NodeKind::Persistent,
+            session: None,
+        },
+        t0,
+    )
+    .unwrap();
+    let rsid = match ens.submit_to(0, ZkOp::CreateSession, t0).unwrap() {
+        ZkResp::Session(s) => s,
+        other => panic!("{other:?}"),
+    };
+    for name in ["c", "a", "b"] {
+        ens.submit_to(
+            0,
+            ZkOp::Create {
+                path: format!("/svc/{name}"),
+                data: vec![],
+                kind: NodeKind::Ephemeral,
+                session: Some(rsid),
+            },
+            t0,
+        )
+        .unwrap();
+        ens.submit_to(
+            0,
+            ZkOp::Watch {
+                path: format!("/svc/{name}"),
+                kind: WatchKind::Node,
+                token: name.as_bytes()[0] as u64,
+            },
+            t0,
+        )
+        .unwrap();
+    }
+    ens.submit_to(0, ZkOp::DrainEvents, t0).unwrap();
+    ens.submit_to(0, ZkOp::CloseSession { session: rsid }, SimTime::from_secs(1))
+        .unwrap();
+    let replicated: Vec<(String, WatchEventKind, u64)> =
+        match ens.submit_to(0, ZkOp::DrainEvents, SimTime::from_secs(1)).unwrap() {
+            ZkResp::Events(evs) => evs.into_iter().map(|e| (e.path, e.kind, e.token)).collect(),
+            other => panic!("{other:?}"),
+        };
+    assert_eq!(replicated, expect, "replicated close must share the pinned order");
 }
 
 // ------------------------------------------------------------ balancer

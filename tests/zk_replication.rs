@@ -1,0 +1,435 @@
+//! Replicated coordination plane: linearizability vs a single-store
+//! oracle (ISSUE 8 tentpole acceptance).
+//!
+//! The ensemble's commit rule is synchronous — an op is acknowledged iff
+//! it was applied, through the shared `ZkStore::apply` path, on the
+//! leader and every reachable follower while the leader held a strict
+//! majority. Under that rule the acked-op history *is* a serial history,
+//! so the linearizability check collapses to an equality check: mirror
+//! every acked op (and every election-time `TouchSessions`) into one
+//! plain `ZkStore` at the same sim-time, and both the per-op responses
+//! and the final `state_digest` must match exactly — across every up
+//! replica, under arbitrary crash/partition/repair schedules.
+//!
+//! Targeted tests pin the individual failover behaviours the property
+//! exercises in bulk: no acked write lost across a leader crash, watch
+//! redelivery from a replicated `pending_events`, minority/majority
+//! partitions, snapshot-install catchup, and `SessionMoved` fencing.
+
+use scalewall::sim::prop::{self, gen};
+use scalewall::sim::{SimDuration, SimRng, SimTime};
+use scalewall::zk::{
+    NodeKind, SessionId, WatchKind, ZkClient, ZkEnsemble, ZkError, ZkOp, ZkReplicationConfig,
+    ZkResp, ZkStore,
+};
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+// --------------------------------------------------------------- property
+
+/// One step of a replication schedule: advance time, maybe flip a fault,
+/// then submit one op through the client.
+#[derive(Debug)]
+struct Step {
+    advance_ms: u64,
+    fault: Option<Fault>,
+    op: OpKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    Crash(u32),
+    Restore(u32),
+    Cut(u32, u32),
+    Heal(u32, u32),
+}
+
+/// Op templates; concrete paths/sessions are resolved against the run's
+/// live state so ops hit a mix of valid and invalid targets.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    CreateEphemeral,
+    CreatePersistent,
+    SetData,
+    Delete,
+    NewSession,
+    Refresh,
+    CloseSession,
+    Watch,
+    Drain,
+    Expire,
+}
+
+fn gen_step(rng: &mut SimRng) -> Step {
+    let fault = if rng.below(100) < 18 {
+        Some(match rng.below(4) {
+            0 => Fault::Crash(rng.below(3) as u32),
+            1 => Fault::Restore(rng.below(3) as u32),
+            2 => {
+                let pairs = [(0, 1), (0, 2), (1, 2)];
+                let &(a, b) = rng.pick(&pairs);
+                Fault::Cut(a, b)
+            }
+            _ => {
+                let pairs = [(0, 1), (0, 2), (1, 2)];
+                let &(a, b) = rng.pick(&pairs);
+                Fault::Heal(a, b)
+            }
+        })
+    } else {
+        None
+    };
+    let op = *rng.pick(&[
+        OpKind::CreateEphemeral,
+        OpKind::CreatePersistent,
+        OpKind::SetData,
+        OpKind::SetData,
+        OpKind::Delete,
+        OpKind::NewSession,
+        OpKind::Refresh,
+        OpKind::Refresh,
+        OpKind::CloseSession,
+        OpKind::Watch,
+        OpKind::Drain,
+        OpKind::Expire,
+    ]);
+    Step {
+        advance_ms: rng.range(50, 4_000),
+        fault,
+        op,
+    }
+}
+
+/// Run one schedule against ensemble + oracle; panics on any divergence.
+fn run_schedule(steps: &[Step]) {
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = ZkEnsemble::new(&cfg);
+    let mut client = ZkClient::new(cfg.seed, cfg.retry);
+    let mut oracle = ZkStore::new(cfg.session);
+    // Deterministic path/session *selection* stream — separate from the
+    // schedule generator so a shrunk schedule replays identically.
+    let mut sel = SimRng::new(0x0f_ace).fork(0x51);
+
+    let mut now_ms = 0u64;
+    let mut sessions: Vec<SessionId> = Vec::new();
+    let paths = ["/svc/a", "/svc/b", "/svc/c", "/svc/d", "/svc/e"];
+
+    // Seed the namespace through the replicated path so the oracle and
+    // the ensemble share it.
+    let seed_op = ZkOp::CreateRecursive {
+        path: "/svc".into(),
+        data: Vec::new(),
+        kind: NodeKind::Persistent,
+        session: None,
+    };
+    let r = client.submit(&mut ens, seed_op.clone(), t(0)).unwrap();
+    assert_eq!(r, oracle.apply(&seed_op, t(0)).unwrap());
+
+    for step in steps {
+        now_ms += step.advance_ms;
+        let now = SimTime::ZERO + SimDuration::from_millis(now_ms);
+        if let Some(fault) = step.fault {
+            match fault {
+                Fault::Crash(id) => ens.crash_replica(id),
+                Fault::Restore(id) => ens.restore_replica(id),
+                Fault::Cut(a, b) => ens.cut_regions(a, b),
+                Fault::Heal(a, b) => ens.heal_regions(a, b),
+            }
+        }
+        if ens.tick(now).is_some() {
+            // The new leader committed `TouchSessions` at `now`; mirror
+            // it so the oracle's expiry outcomes stay aligned.
+            let _ = oracle.apply(&ZkOp::TouchSessions, now);
+        }
+        let mut path = || (*sel.pick(&paths)).to_string();
+        let session = |sel: &mut SimRng, sessions: &[SessionId]| {
+            if sessions.is_empty() || sel.below(8) == 0 {
+                SessionId(sel.below(64)) // sometimes bogus on purpose
+            } else {
+                *sel.pick(sessions)
+            }
+        };
+        let op = match step.op {
+            OpKind::CreateEphemeral => ZkOp::Create {
+                path: path(),
+                data: vec![gen::any_u8(&mut sel)],
+                kind: NodeKind::Ephemeral,
+                session: Some(session(&mut sel, &sessions)),
+            },
+            OpKind::CreatePersistent => ZkOp::Create {
+                path: path(),
+                data: Vec::new(),
+                kind: NodeKind::Persistent,
+                session: None,
+            },
+            OpKind::SetData => ZkOp::SetData {
+                path: path(),
+                data: vec![gen::any_u8(&mut sel), gen::any_u8(&mut sel)],
+                expected_version: if sel.below(4) == 0 { Some(sel.below(3)) } else { None },
+            },
+            OpKind::Delete => ZkOp::Delete {
+                path: path(),
+                expected_version: None,
+            },
+            OpKind::NewSession => ZkOp::CreateSession,
+            OpKind::Refresh => ZkOp::RefreshSession {
+                session: session(&mut sel, &sessions),
+            },
+            OpKind::CloseSession => ZkOp::CloseSession {
+                session: session(&mut sel, &sessions),
+            },
+            OpKind::Watch => ZkOp::Watch {
+                path: path(),
+                kind: if sel.below(2) == 0 { WatchKind::Node } else { WatchKind::Children },
+                token: sel.below(1 << 20),
+            },
+            OpKind::Drain => ZkOp::DrainEvents,
+            OpKind::Expire => ZkOp::ExpireSessions,
+        };
+        match client.submit(&mut ens, op.clone(), now) {
+            // Not committed: the plane was leaderless/minority for the
+            // whole retry budget, or the session was fenced right at the
+            // budget edge. Nothing to mirror.
+            Err(ZkError::NotLeader { .. }) | Err(ZkError::SessionMoved { .. }) => {}
+            // Committed — successfully or as a committed refusal
+            // (BadVersion, NoNode, ...). The oracle must agree exactly.
+            outcome => {
+                let mirrored = oracle.apply(&op, now);
+                assert_eq!(
+                    outcome, mirrored,
+                    "acked response diverged from oracle for {op:?} at {now_ms}ms"
+                );
+                if let Ok(ZkResp::Session(sid)) = &outcome {
+                    sessions.push(*sid);
+                }
+                if let Ok(ZkResp::Sessions(dead)) = &outcome {
+                    sessions.retain(|s| !dead.contains(s));
+                }
+                if let (ZkOp::CloseSession { session }, Ok(_)) = (&op, &outcome) {
+                    sessions.retain(|s| s != session);
+                }
+            }
+        }
+    }
+
+    // Quiesce: repair everything and let anti-entropy converge the
+    // ensemble, mirroring any final election's TouchSessions.
+    for id in 0..3 {
+        ens.restore_replica(id);
+    }
+    for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+        ens.heal_regions(a, b);
+    }
+    let end = SimTime::ZERO + SimDuration::from_millis(now_ms) + SimDuration::from_secs(30);
+    if ens.tick(end).is_some() {
+        let _ = oracle.apply(&ZkOp::TouchSessions, end);
+    }
+    assert!(ens.leader().is_some(), "fully-healed ensemble must have a leader");
+    let want = oracle.state_digest();
+    for id in 0..3 {
+        assert_eq!(
+            ens.replica_digest(id),
+            want,
+            "replica {id} diverged from the single-store oracle after quiescence"
+        );
+    }
+}
+
+#[test]
+fn prop_replicated_plane_matches_single_store_oracle() {
+    prop::check_n(
+        "zk_replication_oracle",
+        48,
+        |rng| gen::vec_with(rng, 10, 60, gen_step),
+        |steps| run_schedule(steps),
+    );
+}
+
+// ---------------------------------------------------------------- targeted
+
+fn create(path: &str) -> ZkOp {
+    ZkOp::Create {
+        path: path.into(),
+        data: Vec::new(),
+        kind: NodeKind::Persistent,
+        session: None,
+    }
+}
+
+/// No acked write is lost across a leader crash: everything the old
+/// leader acknowledged is present on the post-failover leader.
+#[test]
+fn acked_writes_survive_leader_crash() {
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = ZkEnsemble::new(&cfg);
+    let mut client = ZkClient::new(cfg.seed, cfg.retry);
+    for i in 0..10 {
+        client
+            .submit(&mut ens, create(&format!("/n{i}")), t(1))
+            .unwrap();
+    }
+    ens.crash_replica(0);
+    let new = ens.tick(t(30)).expect("failover");
+    let store = ens.replica_store(new);
+    for i in 0..10 {
+        assert!(store.exists(&format!("/n{i}")), "acked /n{i} lost in failover");
+    }
+}
+
+/// Watches live in the replicated state: an event fired just before the
+/// leader dies is still delivered by the post-failover leader.
+#[test]
+fn watch_events_are_redelivered_after_failover() {
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = ZkEnsemble::new(&cfg);
+    let mut client = ZkClient::new(cfg.seed, cfg.retry);
+    client.submit(&mut ens, create("/w"), t(1)).unwrap();
+    client
+        .submit(
+            &mut ens,
+            ZkOp::Watch {
+                path: "/w".into(),
+                kind: WatchKind::Node,
+                token: 7,
+            },
+            t(1),
+        )
+        .unwrap();
+    client
+        .submit(
+            &mut ens,
+            ZkOp::Delete {
+                path: "/w".into(),
+                expected_version: None,
+            },
+            t(1),
+        )
+        .unwrap();
+    // The deletion fired the watch into every replica's pending queue;
+    // the leader dies before anyone drains it.
+    ens.crash_replica(0);
+    ens.tick(t(30)).expect("failover");
+    let evs = match client.submit(&mut ens, ZkOp::DrainEvents, t(31)).unwrap() {
+        ZkResp::Events(evs) => evs,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(evs.len(), 1, "pre-crash watch event must survive failover");
+    assert_eq!(evs[0].path, "/w");
+    assert_eq!(evs[0].token, 7);
+}
+
+/// A partition that leaves the leader in the minority: the majority side
+/// elects, commits, and the healed minority catches back up.
+#[test]
+fn majority_side_wins_partition_and_minority_catches_up() {
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = ZkEnsemble::new(&cfg);
+    let mut client = ZkClient::new(cfg.seed, cfg.retry);
+    client.submit(&mut ens, create("/before"), t(1)).unwrap();
+    // Isolate replica 0 (the leader) from both peers.
+    ens.cut_regions(0, 1);
+    ens.cut_regions(0, 2);
+    let new = ens.tick(t(30)).expect("majority-side election");
+    assert_eq!(new, 1, "longest-log tie → lowest surviving id");
+    client.submit(&mut ens, create("/during"), t(31)).unwrap();
+    assert!(
+        !ens.replica_store(0).exists("/during"),
+        "minority replica must not see uncommitted-for-it writes"
+    );
+    ens.heal_regions(0, 1);
+    ens.heal_regions(0, 2);
+    ens.tick(t(40));
+    for id in 0..3 {
+        assert_eq!(
+            ens.replica_digest(id),
+            ens.replica_digest(new),
+            "replica {id} did not converge after heal"
+        );
+        assert!(ens.replica_store(id).exists("/during"));
+    }
+}
+
+/// While no side has a majority nothing commits anywhere — writes are
+/// refused rather than acknowledged into a minority.
+#[test]
+fn leaderless_ensemble_refuses_rather_than_loses() {
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = ZkEnsemble::new(&cfg);
+    ens.crash_replica(1);
+    ens.crash_replica(2);
+    ens.tick(t(30));
+    assert_eq!(ens.leader(), None, "no quorum anywhere → leaderless");
+    let mut client = ZkClient::new(cfg.seed, cfg.retry);
+    let err = client.submit(&mut ens, create("/lost"), t(31)).unwrap_err();
+    assert!(matches!(err, ZkError::NotLeader { hint: None }));
+    // Repair: the ensemble recovers and the write is accepted — exactly
+    // once, with nothing phantom from the refused attempts.
+    ens.restore_replica(1);
+    ens.restore_replica(2);
+    ens.tick(t(60)).expect("re-election after repair");
+    client.submit(&mut ens, create("/lost"), t(61)).unwrap();
+    for id in 0..3 {
+        if ens.replica_up(id) {
+            assert!(ens.replica_store(id).exists("/lost"));
+        }
+    }
+}
+
+/// A follower that slept through more commits than the retained log
+/// re-joins via snapshot install and ends bit-identical.
+#[test]
+fn repaired_follower_catches_up_via_snapshot() {
+    let mut cfg = ZkReplicationConfig::default();
+    cfg.max_log = 8;
+    let mut ens = ZkEnsemble::new(&cfg);
+    let mut client = ZkClient::new(cfg.seed, cfg.retry);
+    ens.crash_replica(2);
+    for i in 0..40 {
+        client
+            .submit(&mut ens, create(&format!("/deep{i}")), t(1))
+            .unwrap();
+    }
+    ens.restore_replica(2);
+    ens.tick(t(2));
+    assert_eq!(ens.replica_digest(2), ens.replica_digest(0));
+    assert!(
+        ens.replica_log_start(2) > 1,
+        "catchup past the truncation horizon must install a snapshot"
+    );
+}
+
+/// Session fencing: after a failover the first op of each surviving
+/// session absorbs exactly one `SessionMoved`, then proceeds.
+#[test]
+fn each_session_absorbs_one_session_moved_per_failover() {
+    let cfg = ZkReplicationConfig::default();
+    let mut ens = ZkEnsemble::new(&cfg);
+    let mut client = ZkClient::new(cfg.seed, cfg.retry);
+    let mut sids = Vec::new();
+    for _ in 0..3 {
+        match client.submit(&mut ens, ZkOp::CreateSession, t(1)).unwrap() {
+            ZkResp::Session(s) => sids.push(s),
+            other => panic!("{other:?}"),
+        }
+    }
+    ens.crash_replica(0);
+    ens.tick(t(30)).expect("failover");
+    for (i, sid) in sids.iter().enumerate() {
+        let resp = client
+            .submit(&mut ens, ZkOp::RefreshSession { session: *sid }, t(31))
+            .unwrap();
+        assert_eq!(resp, ZkResp::Refreshed(true));
+        assert_eq!(
+            client.session_moves,
+            (i + 1) as u64,
+            "exactly one SessionMoved per session per failover"
+        );
+    }
+    // Second op on the same session in the same epoch: no new fencing.
+    client
+        .submit(&mut ens, ZkOp::RefreshSession { session: sids[0] }, t(32))
+        .unwrap();
+    assert_eq!(client.session_moves, sids.len() as u64);
+}
