@@ -217,23 +217,28 @@ impl Experiment {
         let population = TablePopulation::generate(&config.workload, &mut rng.fork(1));
         let mut load_rng = rng.fork(2);
         for spec in &population.tables {
-            dep.create_table(
+            // A malformed spec degrades to an absent (or empty) table —
+            // queries against it fail and are counted — instead of
+            // killing the whole run during setup. The RNG draws happen
+            // unconditionally either way, so degraded and healthy runs
+            // keep every other stream position identical.
+            let created = dep.create_table(
                 &spec.name,
                 spec.schema.clone(),
                 spec.partitions,
                 RowMapping::Hash,
                 ShardMapping::Monotonic,
                 SimTime::ZERO,
-            )
-            .expect("population tables are valid");
+            );
             let rows = gen_rows(
                 spec,
                 config.rows_per_table,
                 config.workload.ds_range,
                 &mut load_rng,
             );
-            dep.ingest(&spec.name, &rows)
-                .expect("generated rows are valid");
+            if created.is_ok() {
+                let _ = dep.ingest(&spec.name, &rows);
+            }
         }
         // Fork the fault stream *unconditionally*: a healthy run and a
         // faulted run of the same seed must leave every other stream at
@@ -672,14 +677,15 @@ impl Experiment {
         // statistically identical).
         let mut final_hotness = Vec::new();
         let hot_threshold = {
-            let region = &self.dep.regions[0];
-            let hosts: Vec<HostId> = region.nodes.hosts().collect();
             let mut threshold = 4;
-            for host in hosts {
-                if let Some(node) = region.nodes.node(host) {
-                    threshold = node.config().hot_threshold;
-                    for (_, _, _, counter) in node.hotness_snapshot() {
-                        final_hotness.push(counter);
+            if let Some(region) = self.dep.regions.first() {
+                let hosts: Vec<HostId> = region.nodes.hosts().collect();
+                for host in hosts {
+                    if let Some(node) = region.nodes.node(host) {
+                        threshold = node.config().hot_threshold;
+                        for (_, _, _, counter) in node.hotness_snapshot() {
+                            final_hotness.push(counter);
+                        }
                     }
                 }
             }

@@ -1,0 +1,37 @@
+//! Seeded D5 fixture: every RNG stream-discipline breach in one file.
+//! The lint gate skips `fixtures/`; these violations are on purpose.
+
+mod workload {
+    use scalewall_sim::SimRng;
+
+    /// D5a: two fork sites sharing one static label — the child streams
+    /// would be identical, silently correlating "independent" processes.
+    fn duplicate_labels(rng: &mut SimRng) {
+        let queries = rng.fork(7);
+        let arrivals = rng.fork(7);
+        let _ = (queries, arrivals);
+    }
+
+    /// D5b: drawing from a stream and then forking it again — the fork
+    /// label no longer pins the child's position ("fork before fan-out").
+    fn fork_after_draw(rng: &mut SimRng) {
+        let mut hosts = rng.fork(1);
+        let jitter = hosts.below(100);
+        let per_host = hosts.fork(2);
+        let _ = (jitter, per_host);
+    }
+
+    /// D5c: a workload stream handed into fault code — fault decisions
+    /// would perturb query arrivals (and vice versa) across replays.
+    fn leak_into_faults(rng: &mut SimRng) {
+        super::fault::inject(rng);
+    }
+}
+
+mod fault {
+    use scalewall_sim::SimRng;
+
+    pub fn inject(rng: &mut SimRng) {
+        let _ = rng.unit();
+    }
+}

@@ -1,0 +1,25 @@
+//! Clean pair for the D5 fixture: the sanctioned fork discipline —
+//! distinct static labels, hierarchical fan-out before any draw, and
+//! fault code drawing only from its own stream.
+
+mod workload {
+    use scalewall_sim::SimRng;
+
+    fn fan_out(rng: &mut SimRng, hosts: u64) {
+        let mut topo = rng.fork(1);
+        let mut queries = rng.fork(2);
+        for h in 0..hosts {
+            let per_host = topo.fork(h);
+            let _ = per_host;
+        }
+        let _ = queries.unit();
+    }
+}
+
+mod fault {
+    use scalewall_sim::SimRng;
+
+    pub fn inject(rng: &mut SimRng) {
+        let _ = rng.unit();
+    }
+}

@@ -1,0 +1,33 @@
+//! Seeded D6 fixture: a nested same-lock acquire and an a/b–b/a
+//! lock-order cycle across two functions.
+
+use scalewall_sim::sync::RwLock;
+
+struct Catalog {
+    tables: RwLock<u32>,
+    shards: RwLock<u32>,
+}
+
+impl Catalog {
+    /// Nested same-lock acquire: `write` then `read` while still held —
+    /// self-deadlock on the non-reentrant shim locks.
+    fn nested(&self) {
+        let w = self.tables.write();
+        let r = self.tables.read();
+        let _ = (w, r);
+    }
+
+    /// One half of a lock-order cycle…
+    fn tables_then_shards(&self) {
+        let t = self.tables.write();
+        let s = self.shards.read();
+        let _ = (t, s);
+    }
+
+    /// …and the other half: shards before tables.
+    fn shards_then_tables(&self) {
+        let s = self.shards.write();
+        let t = self.tables.read();
+        let _ = (s, t);
+    }
+}

@@ -1,0 +1,30 @@
+//! Clean pair for the D6 fixture: guards dropped before re-acquiring,
+//! and a single consistent acquisition order (tables before shards).
+
+use scalewall_sim::sync::RwLock;
+
+struct Catalog {
+    tables: RwLock<u32>,
+    shards: RwLock<u32>,
+}
+
+impl Catalog {
+    fn sequential(&self) {
+        let w = self.tables.write();
+        drop(w);
+        let r = self.tables.read();
+        let _ = r;
+    }
+
+    fn ordered_writer(&self) {
+        let t = self.tables.write();
+        let s = self.shards.read();
+        let _ = (t, s);
+    }
+
+    fn ordered_reader(&self) {
+        let t = self.tables.read();
+        let s = self.shards.write();
+        let _ = (t, s);
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded D7 fixture: every panic-surface shape the hot-path audit
+//! flags — unwrap, expect, the panic macro family, and literal indexing.
+
+fn unwrap_and_expect(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    a + b
+}
+
+fn panic_family(n: u32) -> u32 {
+    match n {
+        0 => panic!("boom"),
+        1 => unreachable!(),
+        2 => todo!(),
+        _ => n,
+    }
+}
+
+fn literal_index(v: &[u32]) -> u32 {
+    v[0]
+}

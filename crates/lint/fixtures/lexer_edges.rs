@@ -1,0 +1,19 @@
+//! Lexer edge cases (satellite of the parser work): raw strings that
+//! span pragma-looking lines, escaped-newline string continuations, and
+//! nested block comments must all stay inert — no violations, and no
+//! pragmas harvested out of string data.
+
+fn raw_strings() -> (&'static str, &'static str) {
+    let spanning = r#"
+        // scalewall-lint: allow(D2) -- this is string data, not a pragma
+        HashMap Instant unsafe
+    "#;
+    let escaped = "line one \
+        continued: SimRng::new(42) HashSet";
+    (spanning, escaped)
+}
+
+/* nested /* block /* comments */ with HashMap */ and Instant */
+fn after_comments() -> u32 {
+    0
+}

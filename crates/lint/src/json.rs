@@ -1,0 +1,511 @@
+//! `scalewall-lint/v2` JSON report: a hand-rolled writer and a strict
+//! validator, so `scripts/verify.sh` can machine-check lint output
+//! without the workspace growing a serde dependency (hermetic per PR 1).
+//!
+//! Schema (all keys required, no extras checked beyond these):
+//!
+//! ```json
+//! {
+//!   "schema": "scalewall-lint/v2",
+//!   "files_scanned": 123,
+//!   "violations": [ {"path": "...", "line": 7, "rule": "D5", "message": "..."} ],
+//!   "pragmas":    [ {"path": "...", "line": 9, "rules": ["D2"], "reason": "...", "suppressed": 1} ],
+//!   "summary":    { "violations": 0, "suppressed": 4, "pragmas": 4 }
+//! }
+//! ```
+//!
+//! The summary counts are redundant on purpose: the validator cross-checks
+//! them against the arrays, so a truncated or hand-edited report fails
+//! loudly instead of green-lighting a gate.
+
+use crate::{RuleId, WorkspaceReport};
+
+pub const SCHEMA: &str = "scalewall-lint/v2";
+
+// ------------------------------------------------------------- writer
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a workspace report as a `scalewall-lint/v2` document.
+pub fn to_json(report: &WorkspaceReport) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n  \"schema\": \"");
+    s.push_str(SCHEMA);
+    s.push_str("\",\n  \"files_scanned\": ");
+    s.push_str(&report.files_scanned.to_string());
+    s.push_str(",\n  \"violations\": [");
+    let mut first = true;
+    for f in &report.files {
+        for v in &f.violations {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str("\n    {\"path\": ");
+            esc(&f.path, &mut s);
+            s.push_str(", \"line\": ");
+            s.push_str(&v.line.to_string());
+            s.push_str(", \"rule\": ");
+            esc(&v.rule.to_string(), &mut s);
+            s.push_str(", \"message\": ");
+            esc(&v.message, &mut s);
+            s.push('}');
+        }
+    }
+    if !first {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"pragmas\": [");
+    let mut first = true;
+    for f in &report.files {
+        for p in &f.pragmas {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str("\n    {\"path\": ");
+            esc(&f.path, &mut s);
+            s.push_str(", \"line\": ");
+            s.push_str(&p.line.to_string());
+            s.push_str(", \"rules\": [");
+            for (i, r) in p.rules.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                esc(&r.to_string(), &mut s);
+            }
+            s.push_str("], \"reason\": ");
+            esc(&p.reason, &mut s);
+            s.push_str(", \"suppressed\": ");
+            s.push_str(&p.suppressed.to_string());
+            s.push('}');
+        }
+    }
+    if !first {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"summary\": {\"violations\": ");
+    s.push_str(&report.violation_count().to_string());
+    s.push_str(", \"suppressed\": ");
+    s.push_str(&report.suppressed_count().to_string());
+    s.push_str(", \"pragmas\": ");
+    let pragma_count: usize = report.files.iter().map(|f| f.pragmas.len()).sum();
+    s.push_str(&pragma_count.to_string());
+    s.push_str("}\n}\n");
+    s
+}
+
+// ------------------------------------------------------------- parser
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_count(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> PResult<()> {
+        self.ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} (found {:?})",
+                c as char,
+                self.i,
+                self.b.get(self.i).map(|&b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> PResult<Value> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|&b| b as char), self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> PResult<Value> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> PResult<Value> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while matches!(self.b.get(self.i), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> PResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|e| format!("invalid utf-8: {e}"))?;
+                    let c = rest.chars().next().ok_or("empty string tail")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> PResult<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']' (found {:?})", other.map(|&b| b as char))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> PResult<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}' (found {:?})", other.map(|&b| b as char))),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> PResult<Value> {
+    let mut p = Parser { b: text.as_bytes(), i: 0 };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------- validator
+
+fn count_field(obj: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))?
+        .as_count()
+        .ok_or_else(|| format!("{ctx}: {key:?} must be a non-negative integer"))
+}
+
+fn str_field<'a>(obj: &'a Value, key: &str, ctx: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: {key:?} must be a string"))
+}
+
+/// Validate a `scalewall-lint/v2` document: schema tag, every required
+/// key with the right type, rule names that parse, and summary counts
+/// that match the arrays. Returns the `(violations, pragmas)` counts on
+/// success so callers can gate without re-parsing.
+pub fn validate(text: &str) -> Result<(u64, u64), String> {
+    let doc = parse(text)?;
+    if !matches!(doc, Value::Obj(_)) {
+        return Err("top level must be an object".to_string());
+    }
+    let schema = str_field(&doc, "schema", "report")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    count_field(&doc, "files_scanned", "report")?;
+
+    let violations = doc
+        .get("violations")
+        .ok_or("report: missing key \"violations\"")?
+        .as_arr()
+        .ok_or("report: \"violations\" must be an array")?;
+    for (i, v) in violations.iter().enumerate() {
+        let ctx = format!("violations[{i}]");
+        str_field(v, "path", &ctx)?;
+        count_field(v, "line", &ctx)?;
+        str_field(v, "message", &ctx)?;
+        let rule = str_field(v, "rule", &ctx)?;
+        if RuleId::parse(rule).is_none() && rule != "pragma" {
+            return Err(format!("{ctx}: unknown rule {rule:?}"));
+        }
+    }
+
+    let pragmas = doc
+        .get("pragmas")
+        .ok_or("report: missing key \"pragmas\"")?
+        .as_arr()
+        .ok_or("report: \"pragmas\" must be an array")?;
+    let mut suppressed_total = 0u64;
+    for (i, p) in pragmas.iter().enumerate() {
+        let ctx = format!("pragmas[{i}]");
+        str_field(p, "path", &ctx)?;
+        count_field(p, "line", &ctx)?;
+        str_field(p, "reason", &ctx)?;
+        suppressed_total += count_field(p, "suppressed", &ctx)?;
+        let rules = p
+            .get("rules")
+            .ok_or_else(|| format!("{ctx}: missing key \"rules\""))?
+            .as_arr()
+            .ok_or_else(|| format!("{ctx}: \"rules\" must be an array"))?;
+        if rules.is_empty() {
+            return Err(format!("{ctx}: empty rules list"));
+        }
+        for r in rules {
+            let name = r.as_str().ok_or_else(|| format!("{ctx}: rules entries must be strings"))?;
+            if RuleId::parse(name).is_none() {
+                return Err(format!("{ctx}: unknown rule {name:?}"));
+            }
+        }
+    }
+
+    let summary = doc.get("summary").ok_or("report: missing key \"summary\"")?;
+    let s_viol = count_field(summary, "violations", "summary")?;
+    let s_supp = count_field(summary, "suppressed", "summary")?;
+    let s_prag = count_field(summary, "pragmas", "summary")?;
+    if s_viol != violations.len() as u64 {
+        return Err(format!(
+            "summary.violations is {s_viol} but the violations array has {} entries",
+            violations.len()
+        ));
+    }
+    if s_prag != pragmas.len() as u64 {
+        return Err(format!(
+            "summary.pragmas is {s_prag} but the pragmas array has {} entries",
+            pragmas.len()
+        ));
+    }
+    if s_supp != suppressed_total {
+        return Err(format!(
+            "summary.suppressed is {s_supp} but pragma entries total {suppressed_total}"
+        ));
+    }
+    Ok((s_viol, s_prag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileReport, PragmaUse, Violation};
+
+    fn sample() -> WorkspaceReport {
+        WorkspaceReport {
+            files_scanned: 3,
+            files: vec![FileReport {
+                path: "crates/x/src/lib.rs".to_string(),
+                violations: vec![Violation {
+                    rule: RuleId::D5,
+                    line: 12,
+                    message: "fork label \"x\" reused\nacross lines".to_string(),
+                }],
+                pragmas: vec![PragmaUse {
+                    line: 4,
+                    rules: vec![RuleId::D2, RuleId::D1],
+                    reason: "point lookups only".to_string(),
+                    suppressed: 2,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_validates() {
+        let text = to_json(&sample());
+        let (v, p) = validate(&text).expect("sample must validate");
+        assert_eq!((v, p), (1, 1));
+    }
+
+    #[test]
+    fn empty_report_validates() {
+        let text = to_json(&WorkspaceReport { files: Vec::new(), files_scanned: 57 });
+        assert_eq!(validate(&text), Ok((0, 0)));
+    }
+
+    #[test]
+    fn escapes_are_lossless() {
+        let mut r = sample();
+        r.files[0].violations[0].message = "quote \" slash \\ tab \t ctrl \u{1} done".to_string();
+        let text = to_json(&r);
+        assert!(validate(&text).is_ok(), "{text}");
+        // The parser must round-trip the escaped message.
+        let doc = parse(&text).unwrap();
+        let msg = doc.get("violations").unwrap().as_arr().unwrap()[0]
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert_eq!(msg, r.files[0].violations[0].message);
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        let text = to_json(&sample()).replace("scalewall-lint/v2", "scalewall-lint/v1");
+        assert!(validate(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn mismatched_summary_rejected() {
+        let text = to_json(&sample()).replace("\"violations\": 1", "\"violations\": 0");
+        assert!(validate(&text).unwrap_err().contains("summary.violations"));
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let text = to_json(&sample()).replace("\"rule\": \"D5\"", "\"rule\": \"D9\"");
+        assert!(validate(&text).unwrap_err().contains("unknown rule"));
+    }
+
+    #[test]
+    fn truncated_document_rejected() {
+        let text = to_json(&sample());
+        assert!(validate(&text[..text.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn missing_key_rejected() {
+        let text = to_json(&WorkspaceReport::default()).replace("\"pragmas\": [],", "");
+        assert!(validate(&text).unwrap_err().contains("pragmas"));
+    }
+}

@@ -46,7 +46,15 @@ fn consume_string(chars: &[char], open: usize, line: &mut u32) -> usize {
     let mut j = open + 1;
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // An escaped newline (string line-continuation) still ends
+                // a physical line; missing it would shift every subsequent
+                // line number and break pragma scoping.
+                if chars.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '"' => return j + 1,
             '\n' => {
                 *line += 1;
@@ -426,6 +434,33 @@ mod tests {
             .collect();
         assert_eq!(ints, ["0xFF", "0b10", "1_000u64", "0", "10", "0"]);
         assert_eq!(floats, ["1.5", "2e3", "1f64"]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_lines() {
+        // `"\<newline>…"` is a line continuation: the physical newline must
+        // still bump the line counter or everything after shifts by one.
+        let src = "let s = \"a\\\nb\";\nInstant";
+        let toks = lex(src);
+        let inst = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("Instant".into()))
+            .unwrap();
+        assert_eq!(inst.line, 3);
+    }
+
+    #[test]
+    fn raw_string_spanning_pragma_lines_stays_inert() {
+        // A pragma-shaped line *inside* a raw string is string content:
+        // no token, no suppression, and line numbers stay exact after it.
+        let src = "let s = r#\"x\n// scalewall-lint: allow(D2) -- not real\ny\"#;\nInstant";
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| !matches!(&t.tok, Tok::Comment(_))));
+        let inst = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("Instant".into()))
+            .unwrap();
+        assert_eq!(inst.line, 4);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! `scalewall-lint` CLI.
 //!
 //! ```text
-//! scalewall-lint --workspace [--root DIR]   # tiered scan of the whole tree
-//! scalewall-lint --tier sim FILE...         # lint files under one tier
+//! scalewall-lint --workspace [--root DIR] [--json PATH]  # tiered scan
+//! scalewall-lint --tier sim FILE...      # lint files under one tier
+//! scalewall-lint --validate PATH         # check a v2 JSON report
 //! ```
+//!
+//! `--json` writes a `scalewall-lint/v2` report (`-` for stdout);
+//! `--validate` parses one and cross-checks its summary counts.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
 
@@ -11,12 +15,12 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use scalewall_lint::{
-    find_workspace_root, lint_source, FileReport, RuleSet, WorkspaceReport,
+    find_workspace_root, json, lint_source, FileReport, RuleSet, WorkspaceReport,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: scalewall-lint --workspace [--root DIR]\n       scalewall-lint --tier <sim|sim-rng-home|bench|plain> FILE..."
+        "usage: scalewall-lint --workspace [--root DIR] [--json PATH]\n       scalewall-lint --tier <sim|sim-rng-home|bench|plain> FILE...\n       scalewall-lint --validate PATH"
     );
     ExitCode::from(2)
 }
@@ -50,7 +54,17 @@ fn print_report(report: &WorkspaceReport) {
     );
 }
 
-fn run_workspace(root_arg: Option<PathBuf>) -> ExitCode {
+fn emit_json(report: &WorkspaceReport, path: &str) -> Result<(), String> {
+    let text = json::to_json(report);
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn run_workspace(root_arg: Option<PathBuf>, json_out: Option<String>) -> ExitCode {
     let root = match root_arg {
         Some(r) => r,
         None => {
@@ -66,7 +80,15 @@ fn run_workspace(root_arg: Option<PathBuf>) -> ExitCode {
     };
     match scalewall_lint::lint_workspace(&root) {
         Ok(report) => {
-            print_report(&report);
+            if let Some(path) = &json_out {
+                if let Err(e) = emit_json(&report, path) {
+                    eprintln!("scalewall-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            if json_out.as_deref() != Some("-") {
+                print_report(&report);
+            }
             if report.violation_count() == 0 {
                 ExitCode::SUCCESS
             } else {
@@ -75,6 +97,33 @@ fn run_workspace(root_arg: Option<PathBuf>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("scalewall-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_validate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scalewall-lint: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match json::validate(&text) {
+        Ok((violations, pragmas)) => {
+            println!(
+                "scalewall-lint: {path}: valid {} report ({violations} violation(s), {pragmas} pragma(s))",
+                json::SCHEMA
+            );
+            if violations == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("scalewall-lint: {path}: invalid report: {e}");
             ExitCode::from(2)
         }
     }
@@ -120,18 +169,36 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--workspace") => {
-            let root = match args.get(1).map(String::as_str) {
-                Some("--root") => match args.get(2) {
-                    Some(dir) => Some(PathBuf::from(dir)),
-                    None => return usage(),
-                },
-                Some(_) => return usage(),
-                None => None,
-            };
-            run_workspace(root)
+            let mut root = None;
+            let mut json_out = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--root" => match args.get(i + 1) {
+                        Some(dir) => {
+                            root = Some(PathBuf::from(dir));
+                            i += 2;
+                        }
+                        None => return usage(),
+                    },
+                    "--json" => match args.get(i + 1) {
+                        Some(path) => {
+                            json_out = Some(path.clone());
+                            i += 2;
+                        }
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            run_workspace(root, json_out)
         }
         Some("--tier") => match args.get(1) {
             Some(tier) => run_files(tier, &args[2..]),
+            None => usage(),
+        },
+        Some("--validate") => match args.get(1) {
+            Some(path) => run_validate(path),
             None => usage(),
         },
         _ => usage(),

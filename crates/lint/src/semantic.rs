@@ -1,0 +1,756 @@
+//! Workspace semantic analysis: symbol table, conservative call graph,
+//! and the D5 (RNG stream discipline) / D6 (lock-order) rule engines.
+//!
+//! Everything here is deliberately *conservative* (DESIGN.md §5c): a lock
+//! acquisition only counts when the receiver resolves to a field whose
+//! declared type names `RwLock`/`Mutex` (or a local bound to one), and a
+//! call edge only exists when the callee name resolves to exactly one
+//! function in the workspace. Unresolvable receivers and ambiguous names
+//! are dropped — the analysis can miss hazards (false negatives are
+//! documented) but a reported cycle or duplicated fork label is real
+//! modulo name collisions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{Block, Expr, ParsedFile, Stmt};
+use crate::{Candidate, RuleId};
+
+/// `SimRng` draw methods: calling any of these advances the stream
+/// position, which is what makes a later re-fork position-dependent.
+const DRAW_METHODS: &[&str] = &[
+    "unit", "below", "range", "chance", "pick", "shuffle", "next_u64", "next_u32", "fill_bytes",
+];
+
+const LOCK_ACQUIRE: &[&str] = &["read", "write", "lock"];
+
+/// Which replay-contract domain a function lives in, for the D5
+/// workload→fault/backoff flow rule. Derived from file and module names
+/// so single-file fixtures can express cross-domain flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Domain {
+    Workload,
+    Fault,
+    Backoff,
+    Other,
+}
+
+fn domain_of(path: &str, modpath: &[String], fn_name: &str) -> Domain {
+    let p = path.replace('\\', "/").to_ascii_lowercase();
+    let in_mod = |s: &str| modpath.iter().any(|m| m.contains(s));
+    if fn_name == "backoff" || in_mod("backoff") {
+        return Domain::Backoff;
+    }
+    if p.ends_with("fault.rs") || in_mod("fault") {
+        return Domain::Fault;
+    }
+    if p.ends_with("workload.rs") || p.ends_with("driver.rs") || in_mod("workload") {
+        return Domain::Workload;
+    }
+    Domain::Other
+}
+
+/// A call site the cross-file pass may resolve into the call graph.
+#[derive(Debug, Clone)]
+struct CallSite {
+    callee: Callee,
+    /// Locks held at the moment of the call.
+    held: BTreeSet<String>,
+    line: u32,
+    /// Whether any argument mentions an RNG-typed binding of the caller.
+    rng_arg: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Callee {
+    /// Free function (or associated fn) called by bare name.
+    Free(String),
+    /// Method call `recv.name(…)`; `self_ty` is the caller's impl type
+    /// when the receiver is `self`.
+    Method { name: String, on_self: Option<String> },
+}
+
+/// Per-function facts extracted in the per-file phase.
+#[derive(Debug, Clone)]
+pub(crate) struct FnFacts {
+    name: String,
+    self_ty: Option<String>,
+    takes_self: bool,
+    domain: Domain,
+    line: u32,
+    direct_acqs: BTreeSet<String>,
+    calls: Vec<CallSite>,
+    /// Intra-function lock-order edges `(held, acquired, line)`.
+    edges: Vec<(String, String, u32)>,
+    /// Local D5/D6 candidates already final (same-lock nested acquire,
+    /// duplicate fork labels, fork-after-draw).
+    local: Vec<Candidate>,
+}
+
+/// Per-file step, run once every file's struct index exists so a
+/// function can resolve fields of structs declared in *other* files.
+pub(crate) fn extract_fns(
+    path: &str,
+    parsed: &ParsedFile,
+    lock_fields: &BTreeMap<String, BTreeSet<String>>,
+    field_types: &BTreeMap<String, BTreeMap<String, Vec<String>>>,
+) -> Vec<FnFacts> {
+    let mut out = Vec::new();
+    for f in &parsed.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let mut w = FnWalk {
+            facts: FnFacts {
+                name: f.name.clone(),
+                self_ty: f.self_ty.clone(),
+                takes_self: f.takes_self,
+                domain: domain_of(path, &f.modpath, &f.name),
+                line: f.line,
+                direct_acqs: BTreeSet::new(),
+                calls: Vec::new(),
+                edges: Vec::new(),
+                local: Vec::new(),
+            },
+            lock_fields,
+            field_types,
+            local_tys: BTreeMap::new(),
+            rng_idents: BTreeSet::new(),
+            rng_state: BTreeMap::new(),
+            fork_sites: BTreeMap::new(),
+            scopes: vec![Vec::new()],
+        };
+        for p in &f.params {
+            if let Some(name) = &p.name {
+                if p.ty.idents.iter().any(|i| i.ends_with("Rng")) {
+                    w.rng_idents.insert(name.clone());
+                }
+                w.local_tys.insert(name.clone(), p.ty.idents.clone());
+            }
+        }
+        w.block(body);
+        out.push(w.facts);
+    }
+    out
+}
+
+struct FnWalk<'a> {
+    facts: FnFacts,
+    lock_fields: &'a BTreeMap<String, BTreeSet<String>>,
+    field_types: &'a BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    /// Local/param name → type idents (from annotations and lock inits).
+    local_tys: BTreeMap<String, Vec<String>>,
+    rng_idents: BTreeSet<String>,
+    /// Local RNG stream state: false = freshly forked, true = drawn from.
+    rng_state: BTreeMap<String, bool>,
+    /// (receiver key, static label) → first fork line, for D5a.
+    fork_sites: BTreeMap<(String, String), u32>,
+    /// Stack of lock scopes; each holds `(lock id, guard name)` — guard
+    /// `None` means transient (released at end of statement).
+    scopes: Vec<Vec<(String, Option<String>)>>,
+}
+
+impl<'a> FnWalk<'a> {
+    fn held(&self) -> BTreeSet<String> {
+        self.scopes
+            .iter()
+            .flat_map(|s| s.iter().map(|(l, _)| l.clone()))
+            .collect()
+    }
+
+    /// Resolve a lock-acquire receiver to a stable lock identity.
+    fn lock_of(&self, recv: &Expr) -> Option<String> {
+        let key = recv.place_key()?;
+        let parts: Vec<&str> = key.split('.').collect();
+        match parts.as_slice() {
+            // `self.field`
+            ["self", field] => {
+                let ty = self.facts.self_ty.as_deref()?;
+                if self.lock_fields.get(ty)?.contains(*field) {
+                    Some(format!("{ty}::{field}"))
+                } else {
+                    None
+                }
+            }
+            // Bare local or param of lock type.
+            [name] => {
+                let tys = self.local_tys.get(*name)?;
+                if tys.iter().any(|i| i == "RwLock" || i == "Mutex") {
+                    // Function-scoped identity: a local lock in one
+                    // function is never the same object as anyone else's.
+                    Some(format!("{}::{}::{}", self.qual(), self.facts.name, name))
+                } else {
+                    None
+                }
+            }
+            // `x.field` where `x`'s declared type names a known struct.
+            [name, field] => {
+                let tys = self.local_tys.get(*name)?;
+                let owner = tys.iter().find(|i| self.lock_fields.contains_key(*i))?;
+                if self.lock_fields.get(owner)?.contains(*field) {
+                    Some(format!("{owner}::{field}"))
+                } else {
+                    None
+                }
+            }
+            // `self.a.b`: resolve `a`'s type through the field index.
+            ["self", mid, field] => {
+                let ty = self.facts.self_ty.as_deref()?;
+                let mid_tys = self.field_types.get(ty)?.get(*mid)?;
+                let owner = mid_tys.iter().find(|i| self.lock_fields.contains_key(*i))?;
+                if self.lock_fields.get(owner)?.contains(*field) {
+                    Some(format!("{owner}::{field}"))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn qual(&self) -> String {
+        self.facts.self_ty.clone().unwrap_or_else(|| "<free>".into())
+    }
+
+    fn acquire(&mut self, lock: String, line: u32, guard: Option<String>) {
+        let held = self.held();
+        if held.contains(&lock) {
+            self.facts.local.push(Candidate {
+                rule: RuleId::D6,
+                line,
+                message: format!(
+                    "`{lock}` acquired while already held in this function — nested same-lock acquire self-deadlocks under writer contention"
+                ),
+            });
+        } else {
+            for h in &held {
+                self.facts.edges.push((h.clone(), lock.clone(), line));
+            }
+        }
+        self.facts.direct_acqs.insert(lock.clone());
+        if guard.is_some() {
+            // Guard-bound: lives in the enclosing block scope (one below
+            // the statement-transient scope).
+            let idx = self.scopes.len().saturating_sub(2);
+            self.scopes[idx].push((lock, guard));
+        } else if let Some(top) = self.scopes.last_mut() {
+            top.push((lock, None));
+        }
+    }
+
+    fn release_guard(&mut self, name: &str) {
+        for scope in self.scopes.iter_mut() {
+            scope.retain(|(_, g)| g.as_deref() != Some(name));
+        }
+    }
+
+    /// If `e` is (possibly behind one method layer) a lock acquisition,
+    /// return the lock id — used to bind `let g = x.read();` guards.
+    fn acquire_of(&self, e: &Expr) -> Option<(String, u32)> {
+        if let Expr::Method { recv, name, line, .. } = e {
+            if LOCK_ACQUIRE.contains(&name.as_str()) {
+                return self.lock_of(recv).map(|l| (l, *line));
+            }
+        }
+        None
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.scopes.push(Vec::new());
+        for s in b.stmts.iter() {
+            // Statement-transient scope for un-bound guards.
+            self.scopes.push(Vec::new());
+            match s {
+                Stmt::Let { name, ty, init, else_block, .. } => {
+                    let bound_acquire = init.as_ref().and_then(|e| self.acquire_of(e));
+                    if let Some(e) = init {
+                        match (&bound_acquire, name) {
+                            (Some((lock, line)), Some(g)) => {
+                                // Walk the receiver for nested effects,
+                                // then record the guard-bound acquire.
+                                if let Expr::Method { recv, args, .. } = e {
+                                    self.expr(recv);
+                                    for a in args {
+                                        self.expr(a);
+                                    }
+                                }
+                                self.acquire(lock.clone(), *line, Some(g.clone()));
+                            }
+                            _ => self.expr(e),
+                        }
+                    }
+                    if let Some(name) = name {
+                        // Track local types and RNG streams.
+                        if let Some(t) = ty {
+                            self.local_tys.insert(name.clone(), t.idents.clone());
+                            if t.idents.iter().any(|i| i.ends_with("Rng")) {
+                                self.rng_idents.insert(name.clone());
+                            }
+                        }
+                        match init {
+                            Some(Expr::Method { name: m, .. }) if m == "fork" => {
+                                self.rng_idents.insert(name.clone());
+                                self.rng_state.insert(name.clone(), false);
+                            }
+                            Some(Expr::Call { callee, .. }) => {
+                                if let Expr::Path(segs, _) = callee.as_ref() {
+                                    if segs.len() >= 2 {
+                                        let ctor = &segs[segs.len() - 2];
+                                        if segs.last().is_some_and(|l| l == "new") {
+                                            if ctor.ends_with("Rng") {
+                                                self.rng_idents.insert(name.clone());
+                                                self.rng_state.insert(name.clone(), false);
+                                            }
+                                            if ctor == "RwLock" || ctor == "Mutex" {
+                                                self.local_tys
+                                                    .insert(name.clone(), vec![ctor.clone()]);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if let Some(eb) = else_block {
+                        self.block(eb);
+                    }
+                }
+                Stmt::Expr(e) => self.expr(e),
+            }
+            // End of statement: transient guards release.
+            self.scopes.pop();
+        }
+        // End of block: guard-bound locks of this block release.
+        self.scopes.pop();
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Method { recv, name, args, line } => {
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+                let recv_key = recv.place_key();
+                if LOCK_ACQUIRE.contains(&name.as_str()) {
+                    if let Some(lock) = self.lock_of(recv) {
+                        self.acquire(lock, *line, None);
+                        return;
+                    }
+                }
+                if name == "fork" {
+                    self.on_fork(recv_key.as_deref(), args, *line);
+                    return;
+                }
+                if DRAW_METHODS.contains(&name.as_str()) {
+                    if let Some(k) = &recv_key {
+                        if let Some(state) = self.rng_state.get_mut(k) {
+                            *state = true;
+                        }
+                    }
+                    return;
+                }
+                // A plain method call: a call-graph edge candidate.
+                let on_self = match recv.as_ref() {
+                    Expr::Path(segs, _) if segs.len() == 1 && segs[0] == "self" => {
+                        self.facts.self_ty.clone()
+                    }
+                    _ => None,
+                };
+                let rng_arg = args.iter().any(|a| self.mentions_rng(a));
+                let held = self.held();
+                self.facts.calls.push(CallSite {
+                    callee: Callee::Method { name: name.clone(), on_self },
+                    held,
+                    line: *line,
+                    rng_arg,
+                });
+            }
+            Expr::Call { callee, args, line } => {
+                for a in args {
+                    self.expr(a);
+                }
+                if let Expr::Path(segs, _) = callee.as_ref() {
+                    // `drop(guard)` releases a named guard early.
+                    if segs.len() == 1 && segs[0] == "drop" {
+                        if let Some(Expr::Path(g, _)) = args.first() {
+                            if g.len() == 1 {
+                                let name = g[0].clone();
+                                self.release_guard(&name);
+                                return;
+                            }
+                        }
+                    }
+                    let rng_arg = args.iter().any(|a| self.mentions_rng(a));
+                    let held = self.held();
+                    if let Some(name) = segs.last() {
+                        self.facts.calls.push(CallSite {
+                            callee: Callee::Free(name.clone()),
+                            held,
+                            line: *line,
+                            rng_arg,
+                        });
+                    }
+                } else {
+                    self.expr(callee);
+                }
+            }
+            Expr::Field { recv, .. } => self.expr(recv),
+            Expr::Index { recv, index, .. } => {
+                self.expr(recv);
+                self.expr(index);
+            }
+            Expr::Unsafe { body, .. } | Expr::Loop { body, .. } => self.block(body),
+            Expr::Block(b) => self.block(b),
+            Expr::If { cond, then, els, .. } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(e) = els {
+                    self.expr(e);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Expr::For { iter, body, .. } => {
+                self.expr(iter);
+                self.block(body);
+            }
+            Expr::Match { scrut, arms, .. } => {
+                self.expr(scrut);
+                for a in arms {
+                    self.expr(a);
+                }
+            }
+            Expr::Closure { body, .. } => self.expr(body),
+            Expr::StructLit { fields, .. } => {
+                for f in fields {
+                    self.expr(f);
+                }
+            }
+            Expr::Seq(es, _) => {
+                for e in es {
+                    self.expr(e);
+                }
+            }
+            Expr::Path(..)
+            | Expr::LitInt(..)
+            | Expr::LitOther(..)
+            | Expr::Macro { .. }
+            | Expr::Unknown(..) => {}
+        }
+    }
+
+    fn on_fork(&mut self, recv_key: Option<&str>, args: &[Expr], line: u32) {
+        // D5a: two fork sites under one static label on one stream.
+        if let (Some(key), Some(label)) = (recv_key, args.first().and_then(static_label)) {
+            let site = (key.to_string(), label.clone());
+            if let Some(&first) = self.fork_sites.get(&site) {
+                self.facts.local.push(Candidate {
+                    rule: RuleId::D5,
+                    line,
+                    message: format!(
+                        "`{key}.fork({label})` duplicates the fork label first used on line {first} — two children derived under one label collapse into the same stream"
+                    ),
+                });
+            } else {
+                self.fork_sites.insert(site, line);
+            }
+        }
+        // D5b: re-forking a stored stream after drawing from it.
+        if let Some(key) = recv_key {
+            if self.rng_state.get(key).copied() == Some(true) {
+                self.facts.local.push(Candidate {
+                    rule: RuleId::D5,
+                    line,
+                    message: format!(
+                        "`{key}` is re-forked after draws — the child stream's identity now depends on draw position; fork all children before drawing (\"fork before fan-out\")"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn mentions_rng(&self, e: &Expr) -> bool {
+        let mut found = false;
+        crate::parser::walk_expr(e, &mut |sub| {
+            if let Expr::Path(segs, _) = sub {
+                if segs.len() == 1 && self.rng_idents.contains(&segs[0]) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+}
+
+fn static_label(e: &Expr) -> Option<String> {
+    match e {
+        Expr::LitInt(s, _) => {
+            // Normalize (`0x10` ≡ `16`, suffixes dropped) so textual
+            // variants of the same label collide.
+            let t = s.replace('_', "").to_ascii_lowercase();
+            let (radix, digits) = if let Some(h) = t.strip_prefix("0x") {
+                (16, h)
+            } else if let Some(b) = t.strip_prefix("0b") {
+                (2, b)
+            } else if let Some(o) = t.strip_prefix("0o") {
+                (8, o)
+            } else {
+                (10, t.as_str())
+            };
+            let digits: String = digits.chars().take_while(|c| c.is_digit(radix)).collect();
+            let v = u128::from_str_radix(&digits, radix).ok();
+            Some(v.map_or_else(|| s.clone(), |v| v.to_string()))
+        }
+        Expr::Path(segs, _) => {
+            let last = segs.last()?;
+            let screaming = last.len() > 1
+                && last
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+            if screaming {
+                Some(last.clone())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------- cross-file
+
+/// Run the cross-file analyses over every per-file fact set; returns
+/// `(file index, candidate)` pairs.
+pub(crate) fn cross(files: &[(usize, Vec<FnFacts>)]) -> Vec<(usize, Candidate)> {
+    let mut out: Vec<(usize, Candidate)> = Vec::new();
+
+    // Function tables: every analyzed fn gets an id.
+    struct Entry<'a> {
+        file: usize,
+        f: &'a FnFacts,
+    }
+    let mut fns: Vec<Entry> = Vec::new();
+    for (file, facts) in files {
+        for f in facts {
+            fns.push(Entry { file: *file, f });
+        }
+    }
+    let mut by_free_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_method_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_typed_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for (i, e) in fns.iter().enumerate() {
+        by_free_name.entry(e.f.name.as_str()).or_default().push(i);
+        if e.f.takes_self {
+            by_method_name.entry(e.f.name.as_str()).or_default().push(i);
+        }
+        if let Some(t) = &e.f.self_ty {
+            by_typed_name
+                .entry((t.clone(), e.f.name.clone()))
+                .or_default()
+                .push(i);
+        }
+    }
+    let resolve = |c: &Callee| -> Option<usize> {
+        match c {
+            Callee::Free(name) => match by_free_name.get(name.as_str()) {
+                Some(v) if v.len() == 1 => Some(v[0]),
+                _ => None,
+            },
+            Callee::Method { name, on_self } => {
+                if let Some(t) = on_self {
+                    if let Some(v) = by_typed_name.get(&(t.clone(), name.clone())) {
+                        if v.len() == 1 {
+                            return Some(v[0]);
+                        }
+                    }
+                }
+                match by_method_name.get(name.as_str()) {
+                    Some(v) if v.len() == 1 => Some(v[0]),
+                    _ => None,
+                }
+            }
+        }
+    };
+
+    // Transitive lock acquisitions, to fixpoint over resolved edges.
+    let mut all_acqs: Vec<BTreeSet<String>> =
+        fns.iter().map(|e| e.f.direct_acqs.clone()).collect();
+    loop {
+        let mut changed = false;
+        for (i, e) in fns.iter().enumerate() {
+            for site in &e.f.calls {
+                if let Some(j) = resolve(&site.callee) {
+                    let extra: Vec<String> = all_acqs[j]
+                        .iter()
+                        .filter(|l| !all_acqs[i].contains(*l))
+                        .cloned()
+                        .collect();
+                    if !extra.is_empty() {
+                        all_acqs[i].extend(extra);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Lock-order edges: intra-function + held-across-call.
+    // Each edge remembers every site that created it.
+    let mut edges: BTreeMap<(String, String), Vec<(usize, u32, String)>> = BTreeMap::new();
+    for e in fns.iter() {
+        for (h, a, line) in &e.f.edges {
+            edges.entry((h.clone(), a.clone())).or_default().push((
+                e.file,
+                *line,
+                format!("`{a}` acquired on line {line} while `{h}` is held"),
+            ));
+        }
+        for site in &e.f.calls {
+            if site.held.is_empty() {
+                continue;
+            }
+            let Some(j) = resolve(&site.callee) else { continue };
+            let callee = &fns[j];
+            for a in &all_acqs[j] {
+                if site.held.contains(a) {
+                    out.push((
+                        e.file,
+                        Candidate {
+                            rule: RuleId::D6,
+                            line: site.line,
+                            message: format!(
+                                "`{a}` is held across a call to `{}` (line {}), which acquires it again — self-deadlock on the non-reentrant shim locks",
+                                callee.f.name, callee.f.line
+                            ),
+                        },
+                    ));
+                } else {
+                    for h in &site.held {
+                        edges.entry((h.clone(), a.clone())).or_default().push((
+                            e.file,
+                            site.line,
+                            format!(
+                                "`{a}` acquired via call to `{}` while `{h}` is held",
+                                callee.f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // Local candidates pass straight through.
+        for c in &e.f.local {
+            out.push((e.file, c.clone()));
+        }
+    }
+
+    // Cycle detection: an edge is a violation iff its target can reach
+    // its source (i.e. it participates in a cycle).
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (h, a) in edges.keys() {
+        adj.entry(h.as_str()).or_default().insert(a.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for ((h, a), sites) in &edges {
+        if reaches(a, h) {
+            for (file, line, what) in sites {
+                out.push((
+                    *file,
+                    Candidate {
+                        rule: RuleId::D6,
+                        line: *line,
+                        message: format!(
+                            "lock-order cycle: {what}, but elsewhere `{h}` is acquired while `{a}` is held — replay-visible deadlock risk"
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+
+    // D5c: workload RNG flowing into fault/backoff code.
+    for e in fns.iter() {
+        if e.f.domain != Domain::Workload {
+            continue;
+        }
+        for site in &e.f.calls {
+            if !site.rng_arg {
+                continue;
+            }
+            let target_domain = match resolve(&site.callee) {
+                Some(j) => fns[j].f.domain,
+                None => match &site.callee {
+                    // `policy.backoff(…)` resolves by its reserved name.
+                    Callee::Method { name, .. } if name == "backoff" => Domain::Backoff,
+                    _ => Domain::Other,
+                },
+            };
+            if matches!(target_domain, Domain::Fault | Domain::Backoff) {
+                out.push((
+                    e.file,
+                    Candidate {
+                        rule: RuleId::D5,
+                        line: site.line,
+                        message: format!(
+                            "workload RNG stream passed into {} code in `{}` — fault/backoff draws must come from their own forked stream or workload replay shifts when faults change",
+                            if target_domain == Domain::Fault { "fault" } else { "backoff" },
+                            e.f.name
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+/// Convenience used by `lint_source`/`lint_workspace`: run both phases.
+pub(crate) fn analyze(files: &[(usize, String, &ParsedFile)]) -> Vec<(usize, Candidate)> {
+    // Workspace struct index: field lock-ness and field types by struct
+    // name (name collisions merge conservatively; see DESIGN.md §5c).
+    let mut lock_fields: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut field_types: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+    for (_, _, parsed) in files {
+        for s in &parsed.structs {
+            if s.in_test {
+                continue;
+            }
+            let locks = lock_fields.entry(s.name.clone()).or_default();
+            let types = field_types.entry(s.name.clone()).or_default();
+            for (fname, ty) in &s.fields {
+                if ty.mentions("RwLock") || ty.mentions("Mutex") {
+                    locks.insert(fname.clone());
+                }
+                types.insert(fname.clone(), ty.idents.clone());
+            }
+        }
+    }
+    let per_file: Vec<(usize, Vec<FnFacts>)> = files
+        .iter()
+        .map(|(idx, path, parsed)| (*idx, extract_fns(path, parsed, &lock_fields, &field_types)))
+        .collect();
+    cross(&per_file)
+}

@@ -63,6 +63,99 @@ fn d4_fixture_trips_in_every_tier() {
     }
 }
 
+/// The SIM tier with the D7 hot-path audit on, as `ruleset_for`
+/// produces for `HOT_PATHS`.
+const HOT: RuleSet = RuleSet { d7: true, ..RuleSet::SIM };
+
+#[test]
+fn d5_fixture_trips_only_d5_once_per_breach() {
+    let src = fixture("d5_stream_discipline.rs");
+    assert_eq!(rules_hit(&src, RuleSet::SIM), [RuleId::D5]);
+    let (violations, _) = lint_source(&src, RuleSet::SIM);
+    // One per sub-rule: duplicate label, fork-after-draw, domain flow.
+    assert_eq!(violations.len(), 3, "{violations:?}");
+}
+
+#[test]
+fn d5_clean_pair_is_clean() {
+    let src = fixture("d5_stream_discipline_clean.rs");
+    assert_eq!(rules_hit(&src, RuleSet::SIM), Vec::<RuleId>::new());
+}
+
+#[test]
+fn d6_fixture_trips_only_d6() {
+    let src = fixture("d6_lock_order.rs");
+    assert_eq!(rules_hit(&src, RuleSet::SIM), [RuleId::D6]);
+    let (violations, _) = lint_source(&src, RuleSet::SIM);
+    // The nested acquire plus both cycle-participating sites.
+    assert_eq!(violations.len(), 3, "{violations:?}");
+}
+
+#[test]
+fn d6_clean_pair_is_clean() {
+    let src = fixture("d6_lock_order_clean.rs");
+    assert_eq!(rules_hit(&src, RuleSet::SIM), Vec::<RuleId>::new());
+}
+
+#[test]
+fn d7_fixture_trips_only_on_hot_paths() {
+    let src = fixture("d7_panic_surface.rs");
+    assert_eq!(rules_hit(&src, HOT), [RuleId::D7]);
+    let (violations, _) = lint_source(&src, HOT);
+    // unwrap, expect, panic!, unreachable!, todo!, v[0].
+    assert_eq!(violations.len(), 6, "{violations:?}");
+    // Off the hot paths the same source is not D7's business.
+    assert_eq!(rules_hit(&src, RuleSet::SIM), Vec::<RuleId>::new());
+}
+
+#[test]
+fn d7_clean_pair_is_clean_even_on_hot_paths() {
+    let src = fixture("d7_panic_surface_clean.rs");
+    assert_eq!(rules_hit(&src, HOT), Vec::<RuleId>::new());
+}
+
+#[test]
+fn lexer_edge_fixture_is_inert() {
+    // Raw strings spanning pragma-looking lines, escaped-newline string
+    // continuations, and nested block comments: no violations, and no
+    // pragmas harvested out of string data.
+    let src = fixture("lexer_edges.rs");
+    let (violations, pragmas) = lint_source(&src, RuleSet::SIM);
+    assert_eq!(violations, Vec::new());
+    assert_eq!(pragmas, Vec::new());
+}
+
+/// Pinned regression for call-graph held-set propagation: `outer` holds
+/// the lock across a two-hop call chain whose far end re-acquires it.
+/// The exact report site (the call, not the acquire) is pinned so the
+/// propagation can never silently regress to direct-acquire-only.
+#[test]
+fn pinned_held_set_propagation_through_two_hops() {
+    let src = r#"
+struct S { a: Mutex<u32> }
+impl S {
+    fn outer(&self) {
+        let g = self.a.lock();
+        self.middle();
+    }
+    fn middle(&self) {
+        self.inner();
+    }
+    fn inner(&self) {
+        let h = self.a.lock();
+        let _ = h;
+    }
+}
+"#;
+    let (violations, _) = lint_source(src, RuleSet::SIM);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let v = &violations[0];
+    assert_eq!(v.rule, RuleId::D6);
+    assert_eq!(v.line, 6, "reported at the call site: {v:?}");
+    assert!(v.message.contains("S::a"), "{}", v.message);
+    assert!(v.message.contains("held across a call"), "{}", v.message);
+}
+
 #[test]
 fn pragma_fixture_is_clean_with_inventory() {
     let src = fixture("pragma_allowed.rs");
@@ -106,18 +199,25 @@ fn mutate_token_preserving(rng: &mut SimRng, src: &str) -> String {
 
 #[test]
 fn prop_token_preserving_mutations_of_clean_fixtures_stay_clean() {
-    let clean = fixture("clean.rs");
-    let pragma = fixture("pragma_allowed.rs");
+    let clean = [
+        fixture("clean.rs"),
+        fixture("pragma_allowed.rs"),
+        fixture("d5_stream_discipline_clean.rs"),
+        fixture("d6_lock_order_clean.rs"),
+        fixture("d7_panic_surface_clean.rs"),
+        fixture("lexer_edges.rs"),
+    ];
     prop::check_n(
         "lint_clean_fixtures_stable_under_noise",
-        64,
+        96,
         move |rng| {
-            let which = rng.below(2);
-            let base = if which == 0 { &clean } else { &pragma };
-            (which, mutate_token_preserving(rng, base))
+            let which = rng.below(clean.len() as u64) as usize;
+            (which, mutate_token_preserving(rng, &clean[which]))
         },
         |(_, mutated)| {
-            let (violations, _) = lint_source(mutated, RuleSet::SIM);
+            // HOT ⊇ SIM here: the clean fixtures must stay clean even
+            // with the D7 hot-path audit switched on.
+            let (violations, _) = lint_source(mutated, HOT);
             assert_eq!(violations, Vec::new(), "mutated source:\n{mutated}");
         },
     );
@@ -126,22 +226,27 @@ fn prop_token_preserving_mutations_of_clean_fixtures_stay_clean() {
 #[test]
 fn prop_seeded_violations_survive_noise() {
     // The dual property: mutations must not *hide* violations either.
+    // Verdict stability under token-preserving mutation is the lint's
+    // own replay contract: same token stream, same verdict.
     let dirty = [
         (fixture("d1_wall_clock.rs"), RuleId::D1),
         (fixture("d2_hash_iteration.rs"), RuleId::D2),
         (fixture("d3_literal_seed.rs"), RuleId::D3),
         (fixture("d4_unsafe.rs"), RuleId::D4),
+        (fixture("d5_stream_discipline.rs"), RuleId::D5),
+        (fixture("d6_lock_order.rs"), RuleId::D6),
+        (fixture("d7_panic_surface.rs"), RuleId::D7),
     ];
     prop::check_n(
         "lint_dirty_fixtures_stable_under_noise",
-        64,
+        96,
         move |rng| {
             let idx = rng.below(dirty.len() as u64) as usize;
             let (src, rule) = &dirty[idx];
             (mutate_token_preserving(rng, src), *rule)
         },
         |(mutated, rule)| {
-            let (violations, _) = lint_source(mutated, RuleSet::SIM);
+            let (violations, _) = lint_source(mutated, HOT);
             assert!(
                 violations.iter().any(|v| v.rule == *rule),
                 "{rule} vanished from mutated source:\n{mutated}"

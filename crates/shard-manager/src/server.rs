@@ -290,8 +290,12 @@ impl SmServer {
             })?;
         let path = format!("/sm/hosts/{}", info.id.0);
         // The session was just created against the current leader at the
-        // same instant, so these follow-up ops cannot lose leadership.
-        self.zk
+        // same instant, so these follow-up ops cannot lose leadership —
+        // but if they somehow do (a failover landing in the gap), the
+        // registration rolls back and is refused rather than panicking;
+        // the caller retries after the failover like any other refusal.
+        let registered = self
+            .zk
             .create_recursive(
                 &path,
                 &[],
@@ -299,10 +303,14 @@ impl SmServer {
                 Some(session),
                 now,
             )
-            .expect("host path is fresh");
-        self.zk
-            .watch(&path, scalewall_zk::WatchKind::Node, info.id.0, now)
-            .expect("valid path");
+            .and_then(|()| self.zk.watch(&path, scalewall_zk::WatchKind::Node, info.id.0, now));
+        if registered.is_err() {
+            self.zk.close_session(session, now);
+            return Err(SmError::BadHostState {
+                host: info.id,
+                reason: "coordination plane lost mid-registration",
+            });
+        }
         self.session_hosts.insert(session, info.id);
         self.hosts.insert(
             info.id,
@@ -746,7 +754,9 @@ impl SmServer {
         let Some(replicas) = app.assignments.get(&shard) else {
             return Err(SmError::NotAssigned { shard });
         };
-        let &(from, _) = replicas.first().expect("assignments are never empty");
+        let Some(&(from, _)) = replicas.first() else {
+            return Err(SmError::NotAssigned { shard });
+        };
         if !self.hosts.get(&to).is_some_and(|h| h.state.placeable()) {
             return Err(SmError::BadHostState {
                 host: to,
@@ -983,7 +993,9 @@ impl SmServer {
                 }
                 self.reassign(&app_name, shard, from, to);
                 self.publish(&app_name, shard, now);
-                let m = self.active.get_mut(&id).expect("still active");
+                let Some(m) = self.active.get_mut(&id) else {
+                    return;
+                };
                 m.phase = MigrationPhase::Forwarding;
                 m.deadline = now + self.config.timings.propagation_wait;
                 let deadline = m.deadline;

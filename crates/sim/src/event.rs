@@ -192,10 +192,12 @@ impl<E> EventQueue<E> {
         }
     }
 
-    fn take_payload(&mut self, slot: u32) -> E {
-        let payload = self.payloads[slot as usize].take().expect("live slab slot");
+    /// `None` for a dead slab slot, which cannot happen for a ref that
+    /// is still filed in the wheel; callers skip rather than panic.
+    fn take_payload(&mut self, slot: u32) -> Option<E> {
+        let payload = self.payloads.get_mut(slot as usize).and_then(|p| p.take())?;
         self.free.push(slot);
-        payload
+        Some(payload)
     }
 
     /// True while a drained tick batch still has undelivered events.
@@ -289,7 +291,9 @@ impl<E> EventQueue<E> {
                 if (t >> TICK_BITS) >> WHEEL_BITS != block {
                     break;
                 }
-                let ((t, seq), slot) = self.overflow.pop_first().expect("peeked");
+                let Some(((t, seq), slot)) = self.overflow.pop_first() else {
+                    break;
+                };
                 self.insert_ref(EventRef { time: t, seq, slot });
             }
         }
@@ -333,23 +337,27 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        if !self.batch_live() && !self.refill() {
-            return None;
+        loop {
+            if !self.batch_live() && !self.refill() {
+                return None;
+            }
+            let r = self.current[self.head];
+            self.head += 1;
+            if !self.batch_live() {
+                self.current.clear();
+                self.head = 0;
+            }
+            self.pending -= 1;
+            self.now = SimTime::from_nanos(r.time);
+            let Some(payload) = self.take_payload(r.slot) else {
+                continue;
+            };
+            return Some(ScheduledEvent {
+                time: self.now,
+                seq: r.seq,
+                payload,
+            });
         }
-        let r = self.current[self.head];
-        self.head += 1;
-        if !self.batch_live() {
-            self.current.clear();
-            self.head = 0;
-        }
-        self.pending -= 1;
-        self.now = SimTime::from_nanos(r.time);
-        let payload = self.take_payload(r.slot);
-        Some(ScheduledEvent {
-            time: self.now,
-            seq: r.seq,
-            payload,
-        })
     }
 
     /// Pop *every* event sharing the earliest pending timestamp into `out`
@@ -372,7 +380,9 @@ impl<E> EventQueue<E> {
             let r = self.current[self.head];
             self.head += 1;
             self.pending -= 1;
-            let payload = self.take_payload(r.slot);
+            let Some(payload) = self.take_payload(r.slot) else {
+                continue;
+            };
             out.push(ScheduledEvent {
                 time: SimTime::from_nanos(time),
                 seq: r.seq,
@@ -472,7 +482,8 @@ impl<K> DeadlineQueue<K> {
     pub fn due(&mut self, now: SimTime, out: &mut Vec<K>) {
         out.clear();
         while self.queue.peek_time().is_some_and(|t| t <= now) {
-            out.push(self.queue.pop().expect("peeked").payload);
+            let Some(ev) = self.queue.pop() else { break };
+            out.push(ev.payload);
         }
     }
 
@@ -558,7 +569,8 @@ impl<E> ReferenceEventQueue<E> {
         self.now = time;
         out.push(first);
         while self.heap.peek().map(|e| e.time) == Some(time) {
-            out.push(self.heap.pop().expect("peeked"));
+            let Some(ev) = self.heap.pop() else { break };
+            out.push(ev);
         }
         Some(time)
     }

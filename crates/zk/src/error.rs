@@ -41,6 +41,14 @@ pub enum ZkError {
     /// failover. The refusal doubles as the reconnect handshake — an
     /// immediate retry of the same operation succeeds.
     SessionMoved { session: u64 },
+    /// The replica id is not a member of the ensemble — a malformed
+    /// ensemble config (or an id computed against a different config)
+    /// degrades to this instead of an out-of-bounds panic mid-failover.
+    UnknownReplica { id: u32 },
+    /// A committed operation produced a response of the wrong shape —
+    /// a replication-plane invariant breach surfaced as a typed error
+    /// so the experiment degrades instead of panicking mid-replay.
+    UnexpectedResponse { op: &'static str },
 }
 
 impl fmt::Display for ZkError {
@@ -69,6 +77,12 @@ impl fmt::Display for ZkError {
             ZkError::NotLeader { hint: None } => write!(f, "not leader; ensemble leaderless"),
             ZkError::SessionMoved { session } => {
                 write!(f, "session {session} moved across a failover; reconnect")
+            }
+            ZkError::UnknownReplica { id } => {
+                write!(f, "replica {id} is not a member of the ensemble")
+            }
+            ZkError::UnexpectedResponse { op } => {
+                write!(f, "unexpected response shape for {op}")
             }
         }
     }

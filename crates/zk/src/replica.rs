@@ -89,15 +89,21 @@ pub struct ZkReplica {
 }
 
 /// Split two distinct replicas out of the slice for simultaneous
-/// mutable access (leader + follower during catchup).
-fn pair_mut(v: &mut [ZkReplica], a: usize, b: usize) -> (&mut ZkReplica, &mut ZkReplica) {
+/// mutable access (leader + follower during catchup). `None` when the
+/// indices alias or fall outside the ensemble, so a malformed config
+/// degrades instead of panicking.
+fn pair_mut(v: &mut [ZkReplica], a: usize, b: usize) -> Option<(&mut ZkReplica, &mut ZkReplica)> {
     debug_assert_ne!(a, b);
+    if a == b || a >= v.len() || b >= v.len() {
+        return None;
+    }
     if a < b {
         let (lo, hi) = v.split_at_mut(b);
-        (&mut lo[a], &mut hi[0])
+        Some((lo.get_mut(a)?, hi.first_mut()?))
     } else {
         let (lo, hi) = v.split_at_mut(a);
-        (&mut hi[0], &mut lo[b])
+        let first = hi.first_mut()?;
+        Some((first, lo.get_mut(b)?))
     }
 }
 
@@ -174,24 +180,31 @@ impl ZkEnsemble {
         self.elections
     }
 
+    fn replica(&self, id: u32) -> ZkResult<&ZkReplica> {
+        self.replicas
+            .get(id as usize)
+            .ok_or(ZkError::UnknownReplica { id })
+    }
+
     /// Digest of one replica's store (tests compare these across the
-    /// ensemble and against the oracle).
+    /// ensemble and against the oracle). Unknown ids digest to 0.
     pub fn replica_digest(&self, id: u32) -> u64 {
-        self.replicas[id as usize].store.state_digest()
+        self.replica(id).map_or(0, |r| r.store.state_digest())
     }
 
     /// Read access to one replica's store, for assertions.
-    pub fn replica_store(&self, id: u32) -> &ZkStore {
-        &self.replicas[id as usize].store
+    pub fn replica_store(&self, id: u32) -> ZkResult<&ZkStore> {
+        self.replica(id).map(|r| &r.store)
     }
 
     pub fn replica_up(&self, id: u32) -> bool {
-        self.replicas[id as usize].up
+        self.replica(id).is_ok_and(|r| r.up)
     }
 
-    /// First retained log index on a replica (> 1 once truncated).
+    /// First retained log index on a replica (> 1 once truncated);
+    /// 0 for an unknown id.
     pub fn replica_log_start(&self, id: u32) -> u64 {
-        self.replicas[id as usize].log.first_index()
+        self.replica(id).map_or(0, |r| r.log.first_index())
     }
 
     fn majority(&self) -> usize {
@@ -203,14 +216,16 @@ impl ZkEnsemble {
     }
 
     fn reachable(&self, from: u32, to: u32) -> bool {
-        let (f, t) = (&self.replicas[from as usize], &self.replicas[to as usize]);
+        let (Ok(f), Ok(t)) = (self.replica(from), self.replica(to)) else {
+            return false;
+        };
         f.up && t.up && !self.regions_cut(f.home, t.home)
     }
 
     /// Whether `id` is up and can assemble a strict majority (itself
     /// plus reachable up peers).
     fn has_quorum(&self, id: u32) -> bool {
-        if !self.replicas[id as usize].up {
+        if !self.replica_up(id) {
             return false;
         }
         let peers = (0..self.replica_count())
@@ -222,11 +237,15 @@ impl ZkEnsemble {
     // ------------------------------------------------------------- fault hooks
 
     pub fn crash_replica(&mut self, id: u32) {
-        self.replicas[id as usize].up = false;
+        if let Some(r) = self.replicas.get_mut(id as usize) {
+            r.up = false;
+        }
     }
 
     pub fn restore_replica(&mut self, id: u32) {
-        self.replicas[id as usize].up = true;
+        if let Some(r) = self.replicas.get_mut(id as usize) {
+            r.up = true;
+        }
     }
 
     /// Crash every replica homed in `region` (coordinator-aware fault
@@ -310,7 +329,10 @@ impl ZkEnsemble {
     fn elect(&mut self, now: SimTime) -> Option<u32> {
         let winner = (0..self.replica_count())
             .filter(|&id| self.has_quorum(id))
-            .max_by_key(|&id| (self.replicas[id as usize].log.last_index(), std::cmp::Reverse(id)));
+            .max_by_key(|&id| {
+                let last = self.replica(id).map_or(0, |r| r.log.last_index());
+                (last, std::cmp::Reverse(id))
+            });
         match winner {
             None => {
                 // Leaderless: nobody can commit. Re-arm one lease ahead
@@ -380,7 +402,7 @@ impl ZkEnsemble {
         self.lease_until = self.lease_until.max(now + self.lease);
         self.catch_up_followers(l);
         let entry = LogEntry {
-            index: self.replicas[l as usize].log.last_index() + 1,
+            index: self.replica(l)?.log.last_index() + 1,
             epoch: self.epoch,
             at: now,
             op,
@@ -393,7 +415,9 @@ impl ZkEnsemble {
             if id != l && !self.reachable(l, id) {
                 continue;
             }
-            let r = &mut self.replicas[id as usize];
+            let Some(r) = self.replicas.get_mut(id as usize) else {
+                continue;
+            };
             r.log.append(entry.clone());
             let out = r.store.apply(&entry.op, entry.at);
             r.applied = entry.index;
@@ -402,7 +426,12 @@ impl ZkEnsemble {
                 resp = Some(out);
             }
         }
-        let resp = resp.expect("leader always applies its own entry");
+        // The leader always applies its own entry; if it somehow fell
+        // out of the loop the ensemble refuses (retryable) rather than
+        // panicking mid-failover.
+        let Some(resp) = resp else {
+            return Err(ZkError::NotLeader { hint: None });
+        };
         // Session lifecycle bookkeeping on the committed outcome.
         match (&entry.op, &resp) {
             (ZkOp::CreateSession, Ok(ZkResp::Session(sid))) => {
@@ -429,7 +458,10 @@ impl ZkEnsemble {
             if id == l || !self.reachable(l, id) {
                 continue;
             }
-            let (leader, follower) = pair_mut(&mut self.replicas, l as usize, id as usize);
+            let Some((leader, follower)) = pair_mut(&mut self.replicas, l as usize, id as usize)
+            else {
+                continue;
+            };
             if follower.log.last_index() >= leader.log.last_index() {
                 continue;
             }
@@ -516,7 +548,9 @@ impl ZkClient {
                         ZkError::SessionMoved { .. } => {
                             self.session_moves += 1;
                         }
-                        _ => unreachable!(),
+                        // Constrained to the two retryable shapes by the
+                        // outer pattern; anything else propagates.
+                        _ => return Err(err),
                     }
                     if attempt > self.policy.max_retries {
                         return Err(err);
@@ -574,7 +608,7 @@ impl CoordinationPlane {
             CoordinationPlane::Replicated { ensemble, client } => {
                 match client.submit(ensemble, ZkOp::CreateSession, now)? {
                     ZkResp::Session(sid) => Ok(sid),
-                    other => unreachable!("CreateSession returned {other:?}"),
+                    _ => Err(ZkError::UnexpectedResponse { op: "CreateSession" }),
                 }
             }
         }

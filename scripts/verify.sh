@@ -18,14 +18,23 @@ if grep -RInE '^\s*(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde|to
     exit 1
 fi
 
-# Zero-tolerance static gates (ISSUE 4):
+# Zero-tolerance static gates (ISSUE 4, extended by ISSUE 9):
 #  * `-D warnings` turns every rustc warning into a build failure;
-#  * `scalewall-lint --workspace` enforces the determinism rules D1–D4
-#    (DESIGN.md "Determinism invariants") across the tiered tree.
+#  * `scalewall-lint --workspace` enforces the semantic determinism
+#    rules D1–D7 (DESIGN.md "Determinism invariants" and "Semantic
+#    determinism invariants") across the tiered tree. The scan emits a
+#    `scalewall-lint/v2` JSON report which is then re-validated by the
+#    in-repo parser: any violation, unused/malformed pragma, or
+#    schema-invalid report fails the build.
 export RUSTFLAGS="-D warnings"
 
 cargo build --release --offline
-cargo run --release --offline -p scalewall-lint -- --workspace
+
+lint_json="$(mktemp /tmp/scalewall-lint.XXXXXX.json)"
+trap 'rm -f "$lint_json" "${kernel_bench:-}" "${zk_bench:-}"' EXIT
+cargo run --release --offline -p scalewall-lint -- --workspace --json "$lint_json"
+cargo run --release --offline -p scalewall-lint -- --validate "$lint_json"
+
 cargo test -q --offline --workspace
 
 # Correlated-fault scenario suite (ISSUE 2): replayable rack/region
@@ -45,7 +54,6 @@ cargo test -q --offline --test replay_order
 # parser. Malformed output fails the build.
 kernel_bench="$(mktemp /tmp/scalewall-event-kernel.XXXXXX.json)"
 zk_bench="$(mktemp /tmp/scalewall-zk-replication.XXXXXX.json)"
-trap 'rm -f "$kernel_bench" "$zk_bench"' EXIT
 # (`cargo test --bench` runs the target *without* cargo's `--bench` flag,
 # i.e. in single-shot smoke mode; `--validate` exits before any timing.)
 cargo test -q --offline -p scalewall-bench --bench event_kernel -- --json "$kernel_bench" >/dev/null

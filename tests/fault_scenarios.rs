@@ -291,6 +291,67 @@ fn coordinator_region_outage_fails_over_automatically() {
     );
 }
 
+/// **ZK leader partition during a drain storm** (replicated plane): a
+/// drain storm lands in region 0 and, mid-storm, region 0 is partitioned
+/// from *both* other regions — isolating the region-0 ensemble's own
+/// leader on the minority side. The majority side (regions 1+2) must
+/// elect a new leader within one lease, the shard manager's sessions
+/// must ride the failover as `SessionMoved` reconnects rather than
+/// expiries, the storm's admitted drains must complete, and the whole
+/// compound run must replay bit-identically.
+#[test]
+fn zk_leader_partition_during_drain_storm() {
+    let script = FaultScript::new()
+        .with(
+            FaultKind::DrainStorm {
+                region: 0,
+                drains: 3,
+            },
+            hours(1),
+            SimDuration::from_hours(3),
+        )
+        .with(
+            FaultKind::RegionPartition { a: 0, b: 1 },
+            hours(2),
+            SimDuration::from_mins(90),
+        )
+        .with(
+            FaultKind::RegionPartition { a: 0, b: 2 },
+            hours(2),
+            SimDuration::from_mins(90),
+        );
+    let stats = check_scenario_with("zk_leader_partition_during_drain", 0xFA017_08, script, true);
+    assert_eq!(stats.fault_injections, 3);
+    assert_eq!(stats.fault_repairs, 3);
+    assert_eq!(stats.drains_requested, 3);
+    assert!(
+        stats.zk_failovers >= 1,
+        "isolating the leader from the majority must force an election, got {}",
+        stats.zk_failovers
+    );
+    assert!(
+        stats.zk_session_moves > 0,
+        "post-failover heartbeats must absorb SessionMoved reconnects"
+    );
+    // Bounded reconnect churn: every live session re-handshakes at most
+    // once per election (one SessionMoved refusal per session per
+    // epoch), so the storm cannot amplify session movement. 24 hosts
+    // per region plus the manager's own bookkeeping sessions, times the
+    // elections this schedule produces, stays well under this pin.
+    assert!(
+        stats.zk_session_moves <= 64 * stats.zk_failovers.max(1),
+        "session moves ({}) exploded past one reconnect per session per election ({})",
+        stats.zk_session_moves,
+        stats.zk_failovers
+    );
+    // No host was spuriously expired: the leaderless window and the
+    // partition must degrade, not kill sessions into failover churn.
+    assert_eq!(
+        stats.failover_migrations, 0,
+        "degraded-but-live: the partitioned window must not expire live hosts"
+    );
+}
+
 /// The coordinator's rack alone dies (`ZkNodeCrash`): every replica
 /// homed in region 1 crashes, but application hosts are untouched.
 /// Ensembles whose leader lived there fail over; traffic never notices.

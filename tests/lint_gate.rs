@@ -3,12 +3,15 @@
 //!
 //! This is the machine check behind the replay contract: no sim-facing
 //! code path may smuggle in wall-clock time (D1), hash-iteration order
-//! (D2), private RNG seeds (D3), or `unsafe` (D4). See DESIGN.md
-//! "Determinism invariants" for the rules and the pragma escape hatch.
+//! (D2), private RNG seeds (D3), `unsafe` (D4), RNG stream-discipline
+//! breaches (D5), lock-order hazards (D6), or panic surface on the
+//! audited hot paths (D7). See DESIGN.md "Determinism invariants" and
+//! "Semantic determinism invariants" for the rules and the pragma
+//! escape hatch.
 
 use std::path::Path;
 
-use scalewall_lint::lint_workspace;
+use scalewall_lint::{json, lint_workspace, RuleId};
 
 #[test]
 fn workspace_has_zero_unsilenced_violations() {
@@ -53,4 +56,41 @@ fn workspace_has_zero_unsilenced_violations() {
         0,
         "unsilenced determinism-lint violations:\n{rendered}"
     );
+
+    // The gate covers all seven rule families, not just the v1 four:
+    // a clean tree means clean under D1–D7 with the hot-path audit on.
+    for rule in [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::D5,
+        RuleId::D6,
+        RuleId::D7,
+    ] {
+        let hits: Vec<_> = report
+            .files
+            .iter()
+            .flat_map(|f| f.violations.iter().filter(|v| v.rule == rule))
+            .collect();
+        assert!(hits.is_empty(), "{rule} violations in live tree: {hits:?}");
+    }
+}
+
+/// The machine-readable side of the gate: the workspace report must
+/// serialize to a schema-valid `scalewall-lint/v2` document whose
+/// summary counts agree with the in-memory report. `scripts/verify.sh`
+/// runs the same emit + validate pair through the CLI.
+#[test]
+fn workspace_report_roundtrips_through_v2_json() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace scan");
+
+    let text = json::to_json(&report);
+    assert!(text.starts_with(&format!("{{\n  \"schema\": \"{}\"", json::SCHEMA)));
+
+    let (violations, pragmas) = json::validate(&text).expect("schema-valid v2 report");
+    assert_eq!(violations, report.violation_count() as u64);
+    assert_eq!(pragmas as usize, report.pragma_inventory().len());
+    assert_eq!(violations, 0, "validate must agree the tree is clean");
 }

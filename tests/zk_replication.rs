@@ -272,7 +272,7 @@ fn acked_writes_survive_leader_crash() {
     }
     ens.crash_replica(0);
     let new = ens.tick(t(30)).expect("failover");
-    let store = ens.replica_store(new);
+    let store = ens.replica_store(new).unwrap();
     for i in 0..10 {
         assert!(store.exists(&format!("/n{i}")), "acked /n{i} lost in failover");
     }
@@ -335,7 +335,7 @@ fn majority_side_wins_partition_and_minority_catches_up() {
     assert_eq!(new, 1, "longest-log tie → lowest surviving id");
     client.submit(&mut ens, create("/during"), t(31)).unwrap();
     assert!(
-        !ens.replica_store(0).exists("/during"),
+        !ens.replica_store(0).unwrap().exists("/during"),
         "minority replica must not see uncommitted-for-it writes"
     );
     ens.heal_regions(0, 1);
@@ -347,7 +347,7 @@ fn majority_side_wins_partition_and_minority_catches_up() {
             ens.replica_digest(new),
             "replica {id} did not converge after heal"
         );
-        assert!(ens.replica_store(id).exists("/during"));
+        assert!(ens.replica_store(id).unwrap().exists("/during"));
     }
 }
 
@@ -372,7 +372,7 @@ fn leaderless_ensemble_refuses_rather_than_loses() {
     client.submit(&mut ens, create("/lost"), t(61)).unwrap();
     for id in 0..3 {
         if ens.replica_up(id) {
-            assert!(ens.replica_store(id).exists("/lost"));
+            assert!(ens.replica_store(id).unwrap().exists("/lost"));
         }
     }
 }
