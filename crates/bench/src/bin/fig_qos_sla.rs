@@ -1,0 +1,9 @@
+//! QoS/SLA sweep: SLA-met per class vs offered load (0.5×–4× capacity)
+//! under classful shedding vs a flat FIFO baseline, with a region outage
+//! centered on the diurnal peak. `--fast` runs the smoke-test scale.
+
+use scalewall_bench::{figures, Profile};
+
+fn main() {
+    print!("{}", figures::fig_qos_sla::run(Profile::from_args()));
+}

@@ -13,6 +13,7 @@ pub mod fig4d;
 pub mod fig4e;
 pub mod fig4f;
 pub mod fig5;
+pub mod fig_qos_sla;
 pub mod graceful_ablation;
 pub mod lb_ablation;
 pub mod tbl_mapping;
@@ -35,6 +36,7 @@ pub fn run_all(profile: Profile) -> String {
         ("fig4e", fig4e::run),
         ("fig4f", fig4f::run),
         ("fig5", fig5::run),
+        ("qos*", fig_qos_sla::run),
         ("wall*", wall_ablation::run),
         ("grace*", graceful_ablation::run),
         ("lb*", lb_ablation::run),

@@ -12,10 +12,11 @@
 //! Query latency = max over fanned-out servers + coordinator costs,
 //! accumulated across retry attempts.
 
-use cubrick::coordinator::{merge_partials, FanoutPlan};
+use cubrick::admission::QosClass;
+use cubrick::coordinator::{merge_degraded, merge_partials, FanoutPlan};
 use cubrick::error::CubrickError;
 use cubrick::proxy::{CoordinatorStrategy, CubrickProxy};
-use cubrick::query::result::{PartialResult, QueryOutput};
+use cubrick::query::result::{Coverage, PartialResult, QueryOutput, ShardState};
 use cubrick::query::Query;
 use scalewall_shard_manager::{HostId, Region};
 use scalewall_sim::{SimDuration, SimRng, SimTime};
@@ -68,6 +69,23 @@ pub struct QueryOptions {
     /// are many BI and data analytics workloads where this assumption
     /// cannot be made".
     pub best_effort: bool,
+    /// QoS class stamped on the query; selects the admission lane and
+    /// the stats bucket.
+    pub qos: QosClass,
+    /// Degraded-mode serving (the typed alternative to `best_effort`):
+    /// failed shards become per-shard [`ShardState`] entries in a
+    /// [`Coverage`] report and the merged answer is explicitly marked
+    /// `partial`, instead of either failing outright or silently
+    /// under-counting.
+    pub partial_results: bool,
+    /// Per-shard service deadline: a sub-query whose RTT + service time
+    /// exceeds this is abandoned at the deadline and reported as
+    /// [`ShardState::TimedOut`].
+    pub shard_timeout: Option<SimDuration>,
+    /// The caller already holds an admission slot (the experiment's
+    /// admission controller admitted this query before scheduling it);
+    /// skip the proxy-side admit/complete pair.
+    pub admission_held: bool,
 }
 
 impl Default for QueryOptions {
@@ -77,6 +95,10 @@ impl Default for QueryOptions {
             execute_data: true,
             client_region: Region(0),
             best_effort: false,
+            qos: QosClass::Interactive,
+            partial_results: false,
+            shard_timeout: None,
+            admission_held: false,
         }
     }
 }
@@ -94,6 +116,17 @@ pub struct QueryOutcome {
     pub partitions_answered: usize,
     pub output: Option<QueryOutput>,
     pub error: Option<CubrickError>,
+    /// `true` when a degraded-mode answer is missing shards (always
+    /// `false` unless `partial_results` was requested).
+    pub partial: bool,
+    /// Per-shard coverage of the successful attempt (degraded or
+    /// best-effort modes; `None` on failure).
+    pub coverage: Option<Coverage>,
+    /// Region that served the successful attempt.
+    pub served_region: Option<Region>,
+    /// Coordinator partition of the successful attempt (queue-depth
+    /// bookkeeping key for the experiment layer).
+    pub coordinator_partition: Option<u32>,
 }
 
 /// Outcome of one fan-out attempt in one region.
@@ -103,6 +136,13 @@ enum AttemptResult {
         partials: Vec<PartialResult>,
         /// Hosts that served a sub-query (clears their failure streaks).
         answered_hosts: Vec<HostId>,
+        /// Per-shard status, plan order. Complete (all `Answered`) on
+        /// the strict path; may carry failures in degraded/best-effort
+        /// modes.
+        coverage: Coverage,
+        /// Culprit hosts behind degraded shards (accrue failure streaks
+        /// even though the query as a whole succeeded).
+        failed_hosts: Vec<HostId>,
     },
     Failed {
         latency: SimDuration,
@@ -129,20 +169,32 @@ pub fn run_query(
         partitions_answered: 0,
         output: None,
         error: Some(error),
+        partial: false,
+        coverage: None,
+        served_region: None,
+        coordinator_partition: None,
     };
 
-    if let Err(e) = proxy.admit() {
-        return fail(e, 0, SimDuration::ZERO);
+    if !opts.admission_held {
+        if let Err(e) = proxy.admit_class(opts.qos) {
+            return fail(e, 0, SimDuration::ZERO);
+        }
     }
+    let release = |proxy: &mut CubrickProxy| {
+        if !opts.admission_held {
+            proxy.complete_class(opts.qos);
+        }
+    };
 
     let def = match dep.catalog.read().get(&query.table) {
         Ok(d) => d.clone(),
         Err(e) => {
-            proxy.complete();
+            release(proxy);
             return fail(e, 0, SimDuration::ZERO);
         }
     };
     let plan = FanoutPlan::for_table(&query.table, def.partitions);
+    let max_shards = dep.catalog.read().max_shards();
 
     let region_flags: Vec<(Region, bool)> = dep
         .regions
@@ -158,7 +210,7 @@ pub fn run_query(
         let region = match proxy.choose_region(&region_flags, opts.client_region, &excluded) {
             Ok(r) => r,
             Err(e) => {
-                proxy.complete();
+                release(proxy);
                 return fail(e, attempts, total_latency);
             }
         };
@@ -178,7 +230,7 @@ pub fn run_query(
                 excluded.push(region);
                 continue;
             }
-            proxy.complete();
+            release(proxy);
             return fail(error, attempts, total_latency);
         }
 
@@ -202,6 +254,8 @@ pub fn run_query(
                 latency,
                 partials,
                 answered_hosts,
+                coverage,
+                failed_hosts,
             } => {
                 total_latency += latency;
                 // Successful servers get their failure streaks cleared —
@@ -211,9 +265,24 @@ pub fn run_query(
                 for host in answered_hosts {
                     proxy.record_host_success(host);
                 }
-                proxy.complete();
+                // Degraded shards still count against their hosts even
+                // though the query as a whole succeeded — otherwise a
+                // partially-failing host never gets blacklisted under
+                // degraded-mode traffic.
+                for host in failed_hosts {
+                    proxy.record_host_failure(host, now);
+                }
+                release(proxy);
+                let partial = opts.partial_results && !coverage.complete();
                 let output = if opts.execute_data {
-                    let mut merged = if opts.best_effort {
+                    let mut merged = if opts.partial_results {
+                        match merge_degraded(&plan, partials, &coverage) {
+                            Ok(out) => out,
+                            Err(e) => {
+                                return fail(e, attempts, total_latency);
+                            }
+                        }
+                    } else if opts.best_effort {
                         merge_available(partials)
                     } else {
                         match merge_partials(&plan, partials) {
@@ -242,6 +311,10 @@ pub fn run_query(
                     partitions_answered: answered,
                     output,
                     error: None,
+                    partial,
+                    coverage: Some(coverage),
+                    served_region: Some(region),
+                    coordinator_partition: Some(choice.partition),
                 };
             }
             AttemptResult::Failed {
@@ -253,11 +326,44 @@ pub fn run_query(
                 if let Some(host) = culprit {
                     proxy.record_host_failure(host, now);
                 }
+                // A blacklisted replica is not coming back within this
+                // query's lifetime: if every other candidate region's
+                // copy of the failing shard is also blacklisted (or
+                // unresolvable), retrying just burns the retry budget on
+                // zero-latency rejections. Short-circuit to a typed
+                // terminal error instead.
+                if let CubrickError::HostBlacklisted { partition, .. } = &error {
+                    let shard = def.shard_of(*partition, max_shards);
+                    let viable_elsewhere = region_flags.iter().any(|&(r, avail)| {
+                        avail
+                            && r != region
+                            && !excluded.contains(&r)
+                            && dep
+                                .regions
+                                .iter()
+                                .find(|rs| rs.region == r)
+                                .and_then(|rs| rs.resolved_host(shard, now))
+                                .is_some_and(|h| !proxy.is_blacklisted(h, now))
+                    });
+                    if !viable_elsewhere {
+                        release(proxy);
+                        let mut outcome = fail(
+                            CubrickError::AllReplicasUnavailable {
+                                table: query.table.clone(),
+                                partition: *partition,
+                            },
+                            attempts,
+                            total_latency,
+                        );
+                        outcome.fan_out = plan.fan_out();
+                        return outcome;
+                    }
+                }
                 if proxy.should_retry(&error, attempts - 1) {
                     excluded.push(region);
                     continue;
                 }
-                proxy.complete();
+                release(proxy);
                 let mut outcome = fail(error, attempts, total_latency);
                 outcome.fan_out = plan.fan_out();
                 return outcome;
@@ -290,6 +396,9 @@ fn attempt_in_region(
     let mut slowest = SimDuration::ZERO;
     let mut partials: Vec<PartialResult> = Vec::with_capacity(plan.fan_out());
     let mut answered_hosts: Vec<HostId> = Vec::with_capacity(plan.fan_out());
+    let mut coverage = Coverage::default();
+    let mut failed_hosts: Vec<HostId> = Vec::new();
+    let mut first_error: Option<(CubrickError, Option<HostId>)> = None;
 
     for &p in &plan.partitions {
         let shard = def.shard_of(p, max_shards);
@@ -297,15 +406,40 @@ fn attempt_in_region(
             Ok((latency, partial, host)) => {
                 slowest = slowest.max(latency);
                 answered_hosts.push(host);
+                coverage.push(p, ShardState::Answered);
                 if let Some(partial) = partial {
                     partials.push(partial);
                 }
             }
             Err((latency, error, culprit)) => {
+                if opts.partial_results {
+                    // Degraded-mode serving: the shard's failure is
+                    // *declared* (typed per-shard status) rather than
+                    // either failing the query or silently dropping the
+                    // shard. The coordinator still waits out the failed
+                    // sub-query's latency.
+                    slowest = slowest.max(latency);
+                    coverage.push(
+                        p,
+                        match &error {
+                            CubrickError::HostBlacklisted { .. } => ShardState::Blacklisted,
+                            CubrickError::ShardTimeout { .. } => ShardState::TimedOut,
+                            _ => ShardState::Unavailable,
+                        },
+                    );
+                    if let Some(host) = culprit {
+                        failed_hosts.push(host);
+                    }
+                    if first_error.is_none() {
+                        first_error = Some((error, culprit));
+                    }
+                    continue;
+                }
                 if opts.best_effort {
                     // Scuba-style: ignore the dead/slow server and move
                     // on (§II-C). The answer will be incomplete.
                     slowest = slowest.max(latency);
+                    coverage.push(p, ShardState::Unavailable);
                     continue;
                 }
                 // Fail fast: the attempt's latency is what elapsed before
@@ -318,10 +452,24 @@ fn attempt_in_region(
             }
         }
     }
+    // A degraded answer needs at least one shard: zero coverage falls
+    // back to the ordinary failure path (and its cross-region retry)
+    // with the first error as the cause.
+    if opts.partial_results && coverage.answered() == 0 {
+        if let Some((error, culprit)) = first_error {
+            return AttemptResult::Failed {
+                latency: slowest + net.rtt(),
+                error,
+                culprit,
+            };
+        }
+    }
     AttemptResult::Ok {
         latency: net.rtt() + slowest + net.merge_cost(plan.fan_out()),
         partials,
         answered_hosts,
+        coverage,
+        failed_hosts,
     }
 }
 
@@ -366,9 +514,19 @@ fn sub_query(
 
     // Blacklisted hosts are not contacted at all (§IV-C/D: the proxy
     // blacklists repeatedly-failing hosts): fail fast so the retry lands
-    // in another region instead of paying another timeout.
+    // in another region instead of paying another timeout. The error is
+    // typed so the caller can distinguish "we chose not to call" from
+    // "the call failed" — and short-circuit when *every* replica is in
+    // that state.
     if proxy.is_blacklisted(target, now) {
-        return Err((SimDuration::ZERO, unavailable(), None));
+        return Err((
+            SimDuration::ZERO,
+            CubrickError::HostBlacklisted {
+                table: query.table.clone(),
+                partition,
+            },
+            None,
+        ));
     }
 
     let mut latency = SimDuration::ZERO;
@@ -382,19 +540,15 @@ fn sub_query(
     // Does the resolved server still serve the shard? During a graceful
     // migration the old owner forwards; after a plain migration it
     // errors (stale-cache window).
-    let (owns, ready, forward) = {
+    let probe = {
         let node = dep.regions[region_idx].nodes.node(serving);
         match node {
             None => return Err((net.rtt().mul(2), unavailable(), Some(serving))),
-            Some(n) => (
-                n.owns_shard(shard),
-                n.shard_ready(shard),
-                n.is_forwarding(shard),
-            ),
+            Some(n) => n.probe_shard(shard),
         }
     };
-    if !owns || !ready {
-        if let Some(new_owner) = forward {
+    if !probe.owns || !probe.ready {
+        if let Some(new_owner) = probe.forward {
             // Graceful forwarding: one extra hop, then the new owner.
             latency += net.forward_hop();
             serving = new_owner;
@@ -415,7 +569,7 @@ fn sub_query(
                     Some(serving),
                 ));
             }
-        } else if !owns {
+        } else if !probe.owns {
             return Err((
                 net.rtt(),
                 CubrickError::ShardNotOwned {
@@ -440,6 +594,21 @@ fn sub_query(
     match net.server_response(rng) {
         ServerResponse::Failed => Err((latency + net.rtt().mul(2), unavailable(), Some(serving))),
         ServerResponse::Ok(service_time) => {
+            // Per-shard deadline: the coordinator abandons a laggard at
+            // the deadline (latency is capped there — the answer, if it
+            // ever arrives, is discarded).
+            if let Some(deadline) = opts.shard_timeout {
+                if net.rtt() + service_time > deadline {
+                    return Err((
+                        latency + deadline,
+                        CubrickError::ShardTimeout {
+                            table: query.table.clone(),
+                            partition,
+                        },
+                        Some(serving),
+                    ));
+                }
+            }
             latency += net.rtt() + service_time;
             let partial = if opts.execute_data {
                 let node = dep.regions[region_idx]
@@ -828,6 +997,271 @@ mod tests {
             "answer is silently incomplete: {counted}"
         );
         assert!(counted > 0.0);
+    }
+
+    /// Blacklist `host` at the proxy directly (threshold failures).
+    fn blacklist(proxy: &mut CubrickProxy, host: HostId, now: SimTime) {
+        for _ in 0..proxy.config().blacklist_threshold {
+            proxy.record_host_failure(host, now);
+        }
+        assert!(proxy.is_blacklisted(host, now));
+    }
+
+    #[test]
+    fn fully_blacklisted_replica_set_fails_fast() {
+        // Regression (the retry-spin bug): with every region's copy of a
+        // shard blacklisted, each attempt failed at zero cost and
+        // `should_retry` happily burned the whole retry budget before
+        // surfacing an unrelated error. The path now short-circuits to a
+        // typed `AllReplicasUnavailable` on the *first* attempt.
+        let mut f = fixture(0.0);
+        let shards = f.dep.catalog.read().shards_of_table("t").unwrap();
+        let now = t(QUERY_TIME);
+        for r in 0..3 {
+            let owner = f.dep.regions[r].authoritative_host(shards[0]).unwrap();
+            blacklist(&mut f.proxy, owner, now);
+        }
+        let query = parse_query("select count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions::default(),
+            now,
+            &mut f.rng,
+        );
+        assert!(!outcome.success);
+        assert!(matches!(
+            outcome.error,
+            Some(CubrickError::AllReplicasUnavailable { partition: 0, .. })
+        ));
+        assert_eq!(outcome.attempts, 1, "no retry spin");
+        assert_eq!(f.proxy.active_queries(), 0, "admission slot released");
+    }
+
+    #[test]
+    fn one_blacklisted_replica_still_retries_elsewhere() {
+        // The short-circuit must not over-trigger: with region 1's copy
+        // healthy, a blacklisted region-0 copy still fails over.
+        let mut f = fixture(0.0);
+        let shards = f.dep.catalog.read().shards_of_table("t").unwrap();
+        let now = t(QUERY_TIME);
+        let owner = f.dep.regions[0].authoritative_host(shards[0]).unwrap();
+        blacklist(&mut f.proxy, owner, now);
+        let query = parse_query("select count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                client_region: Region(0),
+                ..Default::default()
+            },
+            now,
+            &mut f.rng,
+        );
+        assert!(outcome.success, "{:?}", outcome.error);
+        assert!(outcome.attempts >= 2);
+        assert_eq!(outcome.output.unwrap().rows[0].aggs[0], 1_000.0);
+    }
+
+    #[test]
+    fn degraded_mode_returns_partial_with_coverage() {
+        let mut f = fixture(0.0);
+        let shards = f.dep.catalog.read().shards_of_table("t").unwrap();
+        let now = t(QUERY_TIME);
+        let owner = f.dep.regions[0].authoritative_host(shards[0]).unwrap();
+        blacklist(&mut f.proxy, owner, now);
+        let query = parse_query("select count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                client_region: Region(0),
+                partial_results: true,
+                ..Default::default()
+            },
+            now,
+            &mut f.rng,
+        );
+        assert!(outcome.success, "{:?}", outcome.error);
+        assert_eq!(outcome.attempts, 1, "degraded answer, no failover");
+        assert!(outcome.partial);
+        assert_eq!(outcome.partitions_answered, 7);
+        let cov = outcome.coverage.as_ref().unwrap();
+        assert_eq!(cov.total(), 8);
+        assert_eq!(cov.fraction(), 7.0 / 8.0);
+        assert_eq!(cov.per_shard[0].state, ShardState::Blacklisted);
+        assert!(cov.per_shard[1..]
+            .iter()
+            .all(|s| s.state == ShardState::Answered));
+        assert_eq!(outcome.served_region, Some(Region(0)));
+        // The merged answer covers exactly the 7 answered partitions.
+        let counted = outcome.output.unwrap().scalar().unwrap();
+        assert!(counted > 0.0 && counted < 1_000.0, "counted {counted}");
+    }
+
+    #[test]
+    fn degraded_mode_with_zero_coverage_falls_back_to_retry() {
+        // Whole region dark (every host crashed, SM not yet aware):
+        // degraded mode can't manufacture an answer from nothing, so the
+        // ordinary cross-region retry serves the query completely.
+        let mut f = fixture(0.0);
+        let hosts: Vec<HostId> = f.dep.regions[0].nodes.hosts().collect();
+        for h in hosts {
+            f.dep.regions[0].nodes.crash(h);
+        }
+        let query = parse_query("select count(*) from t").unwrap();
+        let outcome = run_query(
+            &mut f.dep,
+            &mut f.proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                client_region: Region(0),
+                partial_results: true,
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(outcome.success, "{:?}", outcome.error);
+        assert!(outcome.attempts >= 2, "retried out of the dark region");
+        assert!(!outcome.partial, "the healthy region answered in full");
+        assert_eq!(outcome.output.unwrap().rows[0].aggs[0], 1_000.0);
+    }
+
+    #[test]
+    fn shard_timeout_is_terminal_without_retries() {
+        let mut f = fixture(0.0);
+        let query = parse_query("select count(*) from t").unwrap();
+        let mut proxy = CubrickProxy::new(ProxyConfig {
+            max_retries: 0,
+            ..Default::default()
+        });
+        // An impossible deadline: every sub-query times out.
+        let outcome = run_query(
+            &mut f.dep,
+            &mut proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                shard_timeout: Some(SimDuration::from_nanos(1)),
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(!outcome.success);
+        assert!(matches!(
+            outcome.error,
+            Some(CubrickError::ShardTimeout { .. })
+        ));
+        // A generous deadline changes nothing.
+        let outcome = run_query(
+            &mut f.dep,
+            &mut proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                shard_timeout: Some(SimDuration::from_secs(30)),
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(outcome.success, "{:?}", outcome.error);
+        assert_eq!(outcome.output.unwrap().rows[0].aggs[0], 1_000.0);
+    }
+
+    #[test]
+    fn shard_timeout_surfaces_as_timed_out_coverage() {
+        // A deadline near the service-time median: some shards answer,
+        // some time out, and degraded mode declares the split. Seeded,
+        // so the outcome is deterministic.
+        let mut f = fixture(0.0);
+        let query = parse_query("select count(*) from t").unwrap();
+        let opts = QueryOptions {
+            partial_results: true,
+            shard_timeout: Some(SimDuration::from_millis(21)),
+            ..Default::default()
+        };
+        let mut saw_timed_out_partial = false;
+        for i in 0..20 {
+            let outcome = run_query(
+                &mut f.dep,
+                &mut f.proxy,
+                &f.net,
+                &query,
+                &opts,
+                t(QUERY_TIME + i),
+                &mut f.rng,
+            );
+            if !outcome.success {
+                continue;
+            }
+            let cov = outcome.coverage.as_ref().unwrap();
+            assert_eq!(cov.total(), 8);
+            assert_eq!(outcome.partial, !cov.complete());
+            if outcome.partial
+                && cov
+                    .per_shard
+                    .iter()
+                    .any(|s| s.state == ShardState::TimedOut)
+            {
+                saw_timed_out_partial = true;
+                // Latency is capped: no answered-or-timed-out shard can
+                // have cost more than the deadline (plus coordinator
+                // overheads), so the slow tail is genuinely cut off.
+                assert!(outcome.latency < SimDuration::from_millis(25 * outcome.attempts as u64));
+            }
+        }
+        assert!(saw_timed_out_partial, "deadline near median must split");
+    }
+
+    #[test]
+    fn admission_held_skips_proxy_gate() {
+        use cubrick::admission::AdmissionConfig;
+        let mut f = fixture(0.0);
+        // A proxy that admits nothing: only a caller-held slot gets
+        // through.
+        let mut proxy = CubrickProxy::new(ProxyConfig {
+            admission: Some(AdmissionConfig::flat(0)),
+            ..Default::default()
+        });
+        let query = parse_query("select count(*) from t").unwrap();
+        let rejected = run_query(
+            &mut f.dep,
+            &mut proxy,
+            &f.net,
+            &query,
+            &QueryOptions::default(),
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(!rejected.success);
+        assert!(matches!(
+            rejected.error,
+            Some(CubrickError::AdmissionRejected { .. })
+        ));
+        let held = run_query(
+            &mut f.dep,
+            &mut proxy,
+            &f.net,
+            &query,
+            &QueryOptions {
+                admission_held: true,
+                ..Default::default()
+            },
+            t(QUERY_TIME),
+            &mut f.rng,
+        );
+        assert!(held.success, "{:?}", held.error);
+        assert_eq!(proxy.active_queries(), 0, "held slot is the caller's");
     }
 
     #[test]

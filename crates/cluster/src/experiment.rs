@@ -9,8 +9,10 @@
 
 use std::collections::BTreeMap;
 
+use cubrick::admission::{AdmissionDecision, QosClass, Ticket, CLASS_COUNT};
 use cubrick::catalog::RowMapping;
-use cubrick::proxy::{CubrickProxy, ProxyConfig};
+use cubrick::proxy::{CoordinatorStrategy, CubrickProxy, ProxyConfig};
+use cubrick::query::Query;
 use cubrick::sharding::ShardMapping;
 use scalewall_shard_manager::{HostId, Rack, Region};
 use scalewall_sim::{
@@ -21,7 +23,8 @@ use crate::deployment::{Deployment, DeploymentConfig};
 use crate::driver::{run_query, QueryOptions};
 use crate::fault::{FaultKind, FaultScript};
 use crate::net::{NetModel, NetModelConfig};
-use crate::workload::{gen_query, gen_rows, TablePopulation, WorkloadConfig};
+use crate::traffic::{QosConfig, QosStats, TrafficModel};
+use crate::workload::{gen_query, gen_query_for_class, gen_rows, TablePopulation, WorkloadConfig};
 
 /// Experiment configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +54,12 @@ pub struct ExperimentConfig {
     /// or removing a script never perturbs the population or workload
     /// streams of the same seed.
     pub faults: FaultScript,
+    /// QoS serving mode: replace the constant-rate Poisson query loop
+    /// with the production traffic model (diurnal arrivals, per-tenant
+    /// QoS classes, weighted admission with queueing/shedding, degraded
+    /// partial results). `None` keeps the legacy query loop —
+    /// byte-identical to pre-QoS runs of the same seed.
+    pub qos: Option<QosConfig>,
     pub seed: u64,
 }
 
@@ -75,6 +84,7 @@ impl Default for ExperimentConfig {
             drains_per_day: 2.0,
             maintenance_duration: SimDuration::from_hours(2),
             faults: FaultScript::new(),
+            qos: None,
             seed: 0xE49,
         }
     }
@@ -116,6 +126,8 @@ pub struct ExperimentStats {
     pub zk_failovers: u64,
     /// `SessionMoved` reconnect handshakes absorbed by SM's zk clients.
     pub zk_session_moves: u64,
+    /// Per-class QoS serving counters (all-zero outside QoS mode).
+    pub qos: QosStats,
 }
 
 impl ExperimentStats {
@@ -157,6 +169,36 @@ enum Event {
     FaultRepair { window: usize },
     /// Retry an in-place restore that found the host not yet restorable.
     Restore { region: usize, host: HostId },
+    /// One query arrival from the production traffic model (QoS mode).
+    Arrival,
+    /// An in-flight QoS query finished; release its slot and pump the
+    /// admission queues.
+    QueryDone { id: u64 },
+}
+
+/// A query parked in an admission queue, waiting for a slot.
+struct PendingQuery {
+    class: QosClass,
+    query: Query,
+    client_region: Region,
+}
+
+/// Bookkeeping for an in-flight QoS query, keyed by its `QueryDone` id.
+struct DoneRecord {
+    class: QosClass,
+    region: Option<Region>,
+    table: String,
+    coordinator: Option<u32>,
+}
+
+/// The QoS scalars the hot path needs, copied out of the config so the
+/// event handlers don't fight the borrow checker over `self.config`.
+#[derive(Debug, Clone, Copy)]
+struct QosParams {
+    sla: [SimDuration; CLASS_COUNT],
+    shard_timeout: SimDuration,
+    min_coverage: f64,
+    degraded: bool,
 }
 
 /// The engine.
@@ -188,6 +230,22 @@ pub struct Experiment {
     fault_injections: u64,
     fault_repairs: u64,
     population_fingerprint: u64,
+    /// Production traffic model (`Some` iff QoS mode is on).
+    traffic: Option<TrafficModel>,
+    /// Dedicated stream for the arrival process and tenant → class
+    /// assignment (`rng.fork(4)`), forked unconditionally so QoS and
+    /// legacy runs of one seed agree on every other stream.
+    qos_rng: SimRng,
+    qos_params: Option<QosParams>,
+    qos_stats: QosStats,
+    /// Queries parked in the admission queues, by ticket.
+    pending: BTreeMap<Ticket, PendingQuery>,
+    /// In-flight QoS queries awaiting their `QueryDone`.
+    done: BTreeMap<u64, DoneRecord>,
+    next_query_id: u64,
+    /// Configured admission slots (capacity-coupling baseline).
+    base_slots: usize,
+    due_scratch: Vec<(Ticket, QosClass, SimTime)>,
 }
 
 /// FNV-1a over the population's observable shape (satellite of the
@@ -244,9 +302,29 @@ impl Experiment {
         // faulted run of the same seed must leave every other stream at
         // the same position (fork-stability, see `scalewall_sim::rng`).
         let fault_rng = rng.fork(3);
+        // Same discipline for the traffic stream (stream 4).
+        let mut qos_rng = rng.fork(4);
+        let traffic = config
+            .qos
+            .as_ref()
+            .map(|q| TrafficModel::new(q.traffic.clone(), population.tables.len(), &mut qos_rng));
+        let qos_params = config.qos.as_ref().map(|q| QosParams {
+            sla: q.sla,
+            shard_timeout: q.shard_timeout,
+            min_coverage: q.min_coverage,
+            degraded: q.degraded,
+        });
+        let base_slots = config.qos.as_ref().map_or(0, |q| q.admission.total_slots);
+        let proxy = match &config.qos {
+            Some(q) => CubrickProxy::new(ProxyConfig {
+                admission: Some(q.admission),
+                ..Default::default()
+            }),
+            None => CubrickProxy::new(ProxyConfig::default()),
+        };
         let net = NetModel::new(config.net);
         Experiment {
-            proxy: CubrickProxy::new(ProxyConfig::default()),
+            proxy,
             net,
             rng,
             queue: EventQueue::new(),
@@ -264,6 +342,15 @@ impl Experiment {
             fault_injections: 0,
             fault_repairs: 0,
             population_fingerprint: population_fingerprint(&population),
+            traffic,
+            qos_rng,
+            qos_params,
+            qos_stats: QosStats::default(),
+            pending: BTreeMap::new(),
+            done: BTreeMap::new(),
+            next_query_id: 0,
+            base_slots,
+            due_scratch: Vec::new(),
             config,
             dep,
             population,
@@ -271,7 +358,11 @@ impl Experiment {
     }
 
     fn schedule_initial(&mut self) {
-        self.queue.schedule_at(SimTime::from_secs(1), Event::Query);
+        if self.traffic.is_some() {
+            self.schedule_next_arrival(SimTime::ZERO);
+        } else {
+            self.queue.schedule_at(SimTime::from_secs(1), Event::Query);
+        }
         self.queue
             .schedule_after(self.config.metrics_interval, Event::CollectMetrics);
         self.queue
@@ -555,6 +646,7 @@ impl Experiment {
                         // forces lease-driven failover in every ensemble
                         // that leased a leader there.
                         self.dep.zk_crash_region(region_idx as u32);
+                        self.recouple_capacity(now);
                     }
                     FaultKind::RegionPartition { a, b } => {
                         self.net.cut(a, b);
@@ -614,6 +706,7 @@ impl Experiment {
                         let region_idx = self.clamp_region(region);
                         self.dep.regions[region_idx].available = true;
                         self.dep.zk_restore_region(region_idx as u32);
+                        self.recouple_capacity(now);
                     }
                     FaultKind::RegionPartition { a, b } => {
                         self.net.heal(a, b);
@@ -630,7 +723,215 @@ impl Experiment {
             Event::Restore { region, host } => {
                 self.try_restore(region, host, now);
             }
+            Event::Arrival => {
+                self.schedule_next_arrival(now);
+                self.handle_arrival(now);
+            }
+            Event::QueryDone { id } => {
+                self.handle_query_done(id, now);
+            }
         }
+    }
+
+    fn schedule_next_arrival(&mut self, now: SimTime) {
+        let Some(model) = &self.traffic else { return };
+        let gap = model.next_arrival(now, &mut self.qos_rng);
+        self.queue.schedule_at(now + gap, Event::Arrival);
+    }
+
+    /// One production-traffic arrival: pick the tenant (class is sticky
+    /// per tenant), generate the class-shaped query, and run it through
+    /// the admission controller — admit, queue, or shed.
+    fn handle_arrival(&mut self, now: SimTime) {
+        // Time out overdue queue entries before any decision at this
+        // instant, so the admission state the decision sees is current.
+        self.pump_admission(now);
+        let (class, spec) = {
+            let Some(model) = &self.traffic else { return };
+            let mut pick_rng = self.rng.fork(now.as_nanos());
+            let (idx, spec) = self.population.pick_table_index(&mut pick_rng);
+            (model.class_of(idx), spec.clone())
+        };
+        let horizon = self.day_horizon.min(self.config.workload.ds_range);
+        let query = gen_query_for_class(&spec, class, horizon, &mut self.rng);
+        let client_region = Region(self.rng.below(self.dep.regions.len() as u64) as u32);
+        self.qos_stats.class_mut(class).offered += 1;
+        match self.proxy.admission_mut().offer(class, now) {
+            AdmissionDecision::Admit => {
+                self.qos_stats.class_mut(class).admitted += 1;
+                self.start_qos_query(class, &query, client_region, SimDuration::ZERO, now);
+            }
+            AdmissionDecision::Queued { ticket, .. } => {
+                self.qos_stats.class_mut(class).queued += 1;
+                self.pending.insert(
+                    ticket,
+                    PendingQuery {
+                        class,
+                        query,
+                        client_region,
+                    },
+                );
+            }
+            AdmissionDecision::Shed => {
+                self.qos_stats.class_mut(class).shed += 1;
+            }
+        }
+    }
+
+    /// Run an admitted QoS query (the admission slot is already held)
+    /// and schedule its completion. SLA accounting happens here: the
+    /// query met its class SLA iff it completed with acceptable
+    /// coverage within the class latency bound, queue wait included.
+    fn start_qos_query(
+        &mut self,
+        class: QosClass,
+        query: &Query,
+        client_region: Region,
+        queue_wait: SimDuration,
+        now: SimTime,
+    ) {
+        let Some(p) = self.qos_params else {
+            // Not in QoS mode (unreachable from the event loop): return
+            // the slot rather than leak it.
+            self.proxy.admission_mut().complete(class);
+            return;
+        };
+        let opts = QueryOptions {
+            strategy: CoordinatorStrategy::QueueAwareTwoChoice,
+            execute_data: false,
+            client_region,
+            best_effort: false,
+            qos: class,
+            partial_results: p.degraded,
+            shard_timeout: Some(p.shard_timeout),
+            admission_held: true,
+        };
+        let outcome = run_query(
+            &mut self.dep,
+            &mut self.proxy,
+            &self.net,
+            query,
+            &opts,
+            now,
+            &mut self.rng,
+        );
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        if outcome.success {
+            self.queries_ok += 1;
+            self.stats_latency.record_duration(outcome.latency);
+            let coverage_ok = !outcome.partial
+                || outcome
+                    .coverage
+                    .as_ref()
+                    .map_or(1.0, |c| c.fraction())
+                    >= p.min_coverage;
+            let sla = p.sla[class.index()];
+            let counters = self.qos_stats.class_mut(class);
+            if coverage_ok {
+                counters.completed += 1;
+                if outcome.partial {
+                    counters.partials += 1;
+                }
+                if sla == SimDuration::ZERO || queue_wait + outcome.latency <= sla {
+                    counters.sla_met += 1;
+                }
+            } else {
+                // Too little coverage to be useful: a typed failure,
+                // not a silent bad answer.
+                counters.failed += 1;
+            }
+            // Queue-depth bookkeeping: the query occupies its region
+            // and coordinator until `QueryDone`.
+            if let Some(r) = outcome.served_region {
+                self.proxy.note_region_start(r);
+            }
+            if let Some(cp) = outcome.coordinator_partition {
+                self.proxy.note_coordinator_start(&query.table, cp);
+            }
+            self.done.insert(
+                id,
+                DoneRecord {
+                    class,
+                    region: outcome.served_region,
+                    table: query.table.clone(),
+                    coordinator: outcome.coordinator_partition,
+                },
+            );
+        } else {
+            self.queries_failed += 1;
+            self.qos_stats.class_mut(class).failed += 1;
+            self.done.insert(
+                id,
+                DoneRecord {
+                    class,
+                    region: None,
+                    table: query.table.clone(),
+                    coordinator: None,
+                },
+            );
+        }
+        // The slot stays held for the query's full latency (failed
+        // attempts occupied capacity too).
+        self.queue
+            .schedule_at(now + outcome.latency, Event::QueryDone { id });
+    }
+
+    fn handle_query_done(&mut self, id: u64, now: SimTime) {
+        let Some(rec) = self.done.remove(&id) else { return };
+        self.proxy.admission_mut().complete(rec.class);
+        if let Some(r) = rec.region {
+            self.proxy.note_region_done(r);
+        }
+        if let Some(cp) = rec.coordinator {
+            self.proxy.note_coordinator_done(&rec.table, cp);
+        }
+        self.pump_admission(now);
+    }
+
+    /// Admission-queue maintenance: expire overdue tickets, then drain
+    /// runnable ones (priority order) into the freed slots.
+    fn pump_admission(&mut self, now: SimTime) {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.proxy.admission_mut().expire_due(now, &mut due);
+        for (ticket, class, _) in due.drain(..) {
+            if self.pending.remove(&ticket).is_some() {
+                self.qos_stats.class_mut(class).queue_timeouts += 1;
+            }
+        }
+        self.due_scratch = due;
+        while let Some((ticket, class, enqueued_at)) = self.proxy.admission_mut().next_runnable(now)
+        {
+            let Some(pending) = self.pending.remove(&ticket) else {
+                // Bookkeeping mismatch (should not happen): return the
+                // slot the controller just handed out.
+                self.proxy.admission_mut().complete(class);
+                continue;
+            };
+            self.qos_stats.class_mut(class).admitted += 1;
+            let wait = now.since(enqueued_at);
+            let PendingQuery {
+                class,
+                query,
+                client_region,
+            } = pending;
+            self.start_qos_query(class, &query, client_region, wait, now);
+        }
+    }
+
+    /// Capacity coupling: a region outage withdraws that region's share
+    /// of admission slots; its repair returns them (QoS mode only).
+    fn recouple_capacity(&mut self, now: SimTime) {
+        if self.qos_params.is_none() {
+            return;
+        }
+        let regions = self.dep.regions.len().max(1);
+        let dead = self.dep.regions.iter().filter(|r| !r.available).count();
+        // Round up: losing any region must withdraw at least one slot,
+        // or small slot counts would never feel an outage.
+        let offline = (self.base_slots * dead).div_ceil(regions);
+        self.proxy.admission_mut().set_slots_offline(offline);
+        self.pump_admission(now);
     }
 
     /// Restore a fault-crashed host in place, retrying hourly while it is
@@ -710,6 +1011,7 @@ impl Experiment {
             population_fingerprint: self.population_fingerprint,
             zk_failovers: self.dep.zk_failovers(),
             zk_session_moves: self.dep.zk_session_moves(),
+            qos: self.qos_stats,
         }
     }
 }
@@ -749,6 +1051,134 @@ mod tests {
         assert_eq!(a.drains_requested, b.drains_requested);
         assert_eq!(a.final_hotness, b.final_hotness);
         assert_eq!(a.latency.summary(), b.latency.summary());
+    }
+
+    fn qos_overload_config(offered_load: f64) -> ExperimentConfig {
+        use cubrick::admission::AdmissionConfig;
+        use crate::traffic::TrafficConfig;
+        // Slow service (≈400 ms) so 2 admission slots sustain ≈5 qps:
+        // `offered_load` is then a true multiple of serving capacity.
+        ExperimentConfig {
+            deployment: DeploymentConfig {
+                regions: 3,
+                hosts_per_region: 4,
+                max_shards: 5_000,
+                ..Default::default()
+            },
+            workload: WorkloadConfig {
+                tables: 8,
+                ..Default::default()
+            },
+            net: NetModelConfig {
+                median_service_ms: 400.0,
+                ..Default::default()
+            },
+            duration: SimDuration::from_mins(30),
+            rows_per_table: 100,
+            host_mtbf: SimDuration::from_days(3_650),
+            drains_per_day: 0.0,
+            qos: Some(QosConfig {
+                traffic: TrafficConfig {
+                    capacity_qps: 4.8,
+                    offered_load,
+                    diurnal_amplitude: 0.4,
+                    diurnal_period: SimDuration::from_mins(20),
+                    // Interactive offered load (0.2 × 2× = 0.4× capacity)
+                    // fits inside its 0.5 weight reservation, so shedding
+                    // lands on best-effort/batch by design.
+                    class_mix: [0.2, 0.4, 0.4],
+                    ..Default::default()
+                },
+                admission: AdmissionConfig::qos(2),
+                ..Default::default()
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn qos_mode_protects_interactive_under_overload() {
+        let stats = Experiment::new(qos_overload_config(2.0)).run();
+        let q = &stats.qos;
+        let offered: u64 = q.classes.iter().map(|c| c.offered).sum();
+        assert!(offered > 2_000, "2× overload for 30 min: {offered} arrivals");
+        for c in &q.classes {
+            assert!(c.offered > 0, "every class sees traffic: {q:?}");
+        }
+        // Accounting closes: `admitted` counts direct admits plus queue
+        // promotions, so admitted + shed + timeouts can exceed offered
+        // only by double-counting — and falls short only by entries
+        // still pending when the run ends.
+        for c in &q.classes {
+            assert!(
+                c.admitted + c.shed + c.queue_timeouts <= c.offered,
+                "overcounted class: {c:?}"
+            );
+            assert!(
+                c.completed + c.failed <= c.admitted,
+                "finished more than admitted: {c:?}"
+            );
+        }
+        let interactive = q.sla_met_ratio(QosClass::Interactive);
+        let batch = q.sla_met_ratio(QosClass::Batch);
+        assert!(
+            interactive > batch,
+            "priority inversion: interactive {interactive} vs batch {batch}"
+        );
+        assert!(
+            q.class(QosClass::Batch).shed > 0,
+            "overload sheds batch: {q:?}"
+        );
+        assert!(
+            interactive > 0.9,
+            "interactive protected at 2× overload: {interactive}"
+        );
+    }
+
+    #[test]
+    fn qos_mode_is_deterministic() {
+        let a = Experiment::new(qos_overload_config(1.5)).run();
+        let b = Experiment::new(qos_overload_config(1.5)).run();
+        assert_eq!(a.qos, b.qos);
+        assert_eq!(a.queries_ok, b.queries_ok);
+        assert_eq!(a.queries_failed, b.queries_failed);
+        assert_eq!(a.latency.summary(), b.latency.summary());
+    }
+
+    #[test]
+    fn region_outage_withdraws_admission_capacity() {
+        use crate::fault::FaultKind;
+        let config = || {
+            let mut c = qos_overload_config(1.0);
+            c.faults = FaultScript::new().with(
+                FaultKind::RegionOutage { region: 0 },
+                SimTime::ZERO + SimDuration::from_mins(10),
+                SimDuration::from_mins(10),
+            );
+            c
+        };
+        let faulted = Experiment::new(config()).run();
+        let healthy = Experiment::new(qos_overload_config(1.0)).run();
+        assert_eq!(faulted.fault_injections, 1);
+        assert_eq!(faulted.fault_repairs, 1);
+        // Withdrawn capacity under the same offered load must shed or
+        // time out more than the healthy run.
+        let pressure = |s: &ExperimentStats| {
+            s.qos
+                .classes
+                .iter()
+                .map(|c| c.shed + c.queue_timeouts)
+                .sum::<u64>()
+        };
+        assert!(
+            pressure(&faulted) > pressure(&healthy),
+            "outage creates admission pressure: faulted {} vs healthy {}",
+            pressure(&faulted),
+            pressure(&healthy)
+        );
+        // Replays bit-identically.
+        let again = Experiment::new(config()).run();
+        assert_eq!(faulted.qos, again.qos);
     }
 
     /// A small but complete end-to-end run: every event type fires, the

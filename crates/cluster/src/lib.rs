@@ -19,6 +19,9 @@
 //!   generators, Zipf access skew.
 //! * [`experiment`] — the discrete-event experiment engine used by the
 //!   week-long operational figures (4d, 4e, 4f).
+//! * [`traffic`] — production offered-load curves: diurnal sinusoid,
+//!   flash crowds, QoS-class tenant mix, non-homogeneous Poisson
+//!   arrivals by thinning.
 //! * [`fault`] — correlated fault scenarios (rack/region outages,
 //!   inter-region partitions, drain storms) as a replayable script DSL.
 //! * [`wall`] — the analytic scalability-wall model (Figs 1 and 2) plus
@@ -32,6 +35,7 @@ pub mod fault;
 pub mod net;
 pub mod registry;
 pub mod report;
+pub mod traffic;
 pub mod wall;
 pub mod workload;
 
@@ -40,5 +44,6 @@ pub use driver::{drive_region_coordination, run_query, CoordinationHealth, Query
 pub use fault::{FaultKind, FaultScript};
 pub use net::{NetModel, NetModelConfig};
 pub use registry::NodeRegistry;
+pub use traffic::{FlashCrowd, QosConfig, QosStats, TrafficConfig, TrafficModel};
 pub use wall::{success_ratio, wall_point};
 pub use workload::{TablePopulation, TableSpec, WorkloadConfig};

@@ -119,6 +119,14 @@ impl TablePopulation {
         &self.tables[self.popularity.sample(rng)]
     }
 
+    /// Like [`Self::pick_table`], also returning the population index —
+    /// the key the traffic model's sticky tenant → QoS-class assignment
+    /// is indexed by.
+    pub fn pick_table_index<'a>(&'a self, rng: &mut SimRng) -> (usize, &'a TableSpec) {
+        let idx = self.popularity.sample(rng);
+        (idx, &self.tables[idx])
+    }
+
     /// Distribution of partitions per table — the Fig 4b histogram.
     pub fn partitions_histogram(&self) -> Vec<(u32, usize)> {
         let mut counts = std::collections::BTreeMap::new();
@@ -171,6 +179,40 @@ pub fn gen_query(spec: &TableSpec, day_horizon: i64, rng: &mut SimRng) -> Query 
     let hi = (day_horizon - 1).max(0);
     let lo = (hi - window).max(0);
     let group_by = if rng.chance(0.5) {
+        vec!["ds".to_string()]
+    } else {
+        Vec::new()
+    };
+    Query {
+        table: spec.name.clone(),
+        aggs: vec![AggSpec::new(AggFunc::Sum, "clicks"), AggSpec::count_star()],
+        predicates: vec![Predicate::between("ds", lo, hi)],
+        group_by,
+        order_by: None,
+        limit: None,
+    }
+}
+
+/// Class-shaped variant of [`gen_query`]: interactive dashboards look
+/// at narrow recent windows, best-effort reports at about a month, and
+/// batch jobs scan a quarter with a group-by (the expensive shape that
+/// makes shedding them first worthwhile).
+pub fn gen_query_for_class(
+    spec: &TableSpec,
+    class: cubrick::admission::QosClass,
+    day_horizon: i64,
+    rng: &mut SimRng,
+) -> Query {
+    use cubrick::admission::QosClass;
+    let (max_window, group_p) = match class {
+        QosClass::Interactive => (7, 0.3),
+        QosClass::BestEffort => (28, 0.5),
+        QosClass::Batch => (90, 1.0),
+    };
+    let window = 1 + rng.below(max_window) as i64;
+    let hi = (day_horizon - 1).max(0);
+    let lo = (hi - window).max(0);
+    let group_by = if rng.chance(group_p) {
         vec!["ds".to_string()]
     } else {
         Vec::new()
@@ -270,6 +312,58 @@ mod tests {
             recent > 600,
             "recency bias: {recent}/1000 in the recent half"
         );
+    }
+
+    #[test]
+    fn class_shaped_queries_widen_down_the_priority_ladder() {
+        use cubrick::admission::QosClass;
+        let config = WorkloadConfig::default();
+        let mut rng = SimRng::new(8);
+        let pop = TablePopulation::generate(&config, &mut rng);
+        let spec = &pop.tables[0];
+        let max_window = |class| {
+            let mut rng = SimRng::new(9);
+            (0..200)
+                .map(|_| {
+                    let q = gen_query_for_class(spec, class, 100, &mut rng);
+                    match &q.predicates[0].op {
+                        cubrick::query::PredOp::Between(lo, hi) => hi - lo,
+                        other => panic!("{other:?}"),
+                    }
+                })
+                .max()
+                .unwrap()
+        };
+        let interactive = max_window(QosClass::Interactive);
+        let best_effort = max_window(QosClass::BestEffort);
+        let batch = max_window(QosClass::Batch);
+        assert!(interactive <= 7, "{interactive}");
+        assert!(best_effort > interactive && best_effort <= 28);
+        assert!(batch > best_effort && batch <= 90);
+        // Batch always groups (the expensive shape).
+        let mut rng = SimRng::new(10);
+        for _ in 0..50 {
+            let q = gen_query_for_class(spec, QosClass::Batch, 100, &mut rng);
+            assert_eq!(q.group_by, vec!["ds".to_string()]);
+        }
+    }
+
+    #[test]
+    fn pick_table_index_matches_pick_table() {
+        let config = WorkloadConfig {
+            tables: 50,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(12);
+        let pop = TablePopulation::generate(&config, &mut rng);
+        let mut a = SimRng::new(13);
+        let mut b = SimRng::new(13);
+        for _ in 0..500 {
+            let by_ref = pop.pick_table(&mut a).name.clone();
+            let (idx, spec) = pop.pick_table_index(&mut b);
+            assert_eq!(spec.name, by_ref);
+            assert_eq!(pop.tables[idx].name, by_ref);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the fan-out plan and the merge.
 
 use crate::error::{CubrickError, CubrickResult};
-use crate::query::result::{PartialResult, QueryOutput};
+use crate::query::result::{Coverage, PartialResult, QueryOutput};
 
 /// The set of partitions a query must visit: all of them — partial
 /// sharding bounds this by the *table's* partition count, not the
@@ -63,11 +63,55 @@ pub fn merge_partials(
     Ok(merged.finalize())
 }
 
+/// Degraded-mode merge (the typed opposite of [`merge_partials`]):
+/// combine whatever answered, but *declare* what is missing through the
+/// accompanying [`Coverage`] instead of silently returning a smaller
+/// number. Invariants checked (typed errors, never panics — this file
+/// is on the lint D7 panic-surface list):
+///
+/// * `coverage` must describe exactly the plan's partitions, and
+/// * `partials.len()` must equal `coverage.answered()`.
+///
+/// Returns `Ok(None)` when nothing answered (zero coverage still lets
+/// the caller report a typed outcome rather than fabricate zeros).
+pub fn merge_degraded(
+    plan: &FanoutPlan,
+    partials: Vec<PartialResult>,
+    coverage: &Coverage,
+) -> CubrickResult<Option<QueryOutput>> {
+    if coverage.total() != plan.fan_out() {
+        return Err(CubrickError::Internal {
+            detail: format!(
+                "coverage describes {} shards for fan-out {}",
+                coverage.total(),
+                plan.fan_out()
+            ),
+        });
+    }
+    if partials.len() != coverage.answered() {
+        return Err(CubrickError::Internal {
+            detail: format!(
+                "coordinator received {} partials but coverage says {} answered",
+                partials.len(),
+                coverage.answered()
+            ),
+        });
+    }
+    let mut iter = partials.into_iter();
+    let Some(mut merged) = iter.next() else {
+        return Ok(None);
+    };
+    for partial in iter {
+        merged.merge(&partial);
+    }
+    Ok(Some(merged.finalize()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::query::agg::{AggSpec, AggState};
-    use crate::query::result::GroupVal;
+    use crate::query::result::{GroupVal, ShardState};
 
     fn partial(count: u64) -> PartialResult {
         let mut p = PartialResult::new(vec![AggSpec::count_star()], 4);
@@ -93,5 +137,48 @@ mod tests {
         // Missing one partial is an error — no silent partial answers.
         let err = merge_partials(&plan, vec![partial(1), partial(2)]).unwrap_err();
         assert!(matches!(err, CubrickError::Internal { .. }));
+    }
+
+    #[test]
+    fn degraded_merge_declares_missing_shards() {
+        let plan = FanoutPlan::for_table("t", 3);
+        let mut cov = Coverage::default();
+        cov.push(0, ShardState::Answered);
+        cov.push(1, ShardState::TimedOut);
+        cov.push(2, ShardState::Answered);
+        let out = merge_degraded(&plan, vec![partial(1), partial(3)], &cov)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.rows[0].aggs[0], 4.0, "only the answered partials merge");
+        assert_eq!(cov.fraction(), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn degraded_merge_zero_coverage_is_none_not_zeros() {
+        let plan = FanoutPlan::for_table("t", 2);
+        let mut cov = Coverage::default();
+        cov.push(0, ShardState::Unavailable);
+        cov.push(1, ShardState::Blacklisted);
+        assert_eq!(merge_degraded(&plan, vec![], &cov).unwrap(), None);
+    }
+
+    #[test]
+    fn degraded_merge_rejects_inconsistent_coverage() {
+        let plan = FanoutPlan::for_table("t", 2);
+        // Coverage shorter than the plan.
+        let mut short = Coverage::default();
+        short.push(0, ShardState::Answered);
+        assert!(matches!(
+            merge_degraded(&plan, vec![partial(1)], &short),
+            Err(CubrickError::Internal { .. })
+        ));
+        // Partial count disagreeing with coverage.
+        let mut cov = Coverage::default();
+        cov.push(0, ShardState::Answered);
+        cov.push(1, ShardState::Answered);
+        assert!(matches!(
+            merge_degraded(&plan, vec![partial(1)], &cov),
+            Err(CubrickError::Internal { .. })
+        ));
     }
 }

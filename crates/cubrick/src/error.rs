@@ -39,6 +39,17 @@ pub enum CubrickError {
     NoAvailableRegion,
     /// A table partition is unavailable in the chosen region.
     PartitionUnavailable { table: String, partition: u32 },
+    /// The resolved host for a partition is blacklisted at the proxy —
+    /// the sub-query was never sent (distinguished from
+    /// `PartitionUnavailable` so the proxy can detect a fully-
+    /// blacklisted replica set instead of spinning retries).
+    HostBlacklisted { table: String, partition: u32 },
+    /// Every region's replica for a partition is blacklisted: retrying
+    /// cannot help; degraded mode turns this into a partial result.
+    AllReplicasUnavailable { table: String, partition: u32 },
+    /// A sub-query exceeded its per-shard deadline (degraded-mode
+    /// serving treats the shard as missing instead of waiting).
+    ShardTimeout { table: String, partition: u32 },
     /// An inter-region network partition makes the chosen region
     /// unreachable from the client's region.
     RegionUnreachable { from: u32, to: u32 },
@@ -85,6 +96,15 @@ impl fmt::Display for CubrickError {
             PartitionUnavailable { table, partition } => {
                 write!(f, "{table}#{partition} unavailable in region")
             }
+            HostBlacklisted { table, partition } => {
+                write!(f, "host serving {table}#{partition} is blacklisted")
+            }
+            AllReplicasUnavailable { table, partition } => {
+                write!(f, "every replica of {table}#{partition} is blacklisted or down")
+            }
+            ShardTimeout { table, partition } => {
+                write!(f, "{table}#{partition} sub-query exceeded its deadline")
+            }
             RegionUnreachable { from, to } => {
                 write!(f, "region {to} unreachable from region {from} (network partition)")
             }
@@ -108,8 +128,25 @@ impl CubrickError {
             CubrickError::ShardNotOwned { .. }
                 | CubrickError::ShardLoading { .. }
                 | CubrickError::PartitionUnavailable { .. }
+                | CubrickError::HostBlacklisted { .. }
+                | CubrickError::ShardTimeout { .. }
                 | CubrickError::RegionUnreachable { .. }
                 | CubrickError::Internal { .. }
+        )
+    }
+
+    /// Whether degraded-mode serving may absorb this sub-query error as
+    /// a missing shard (partial result) instead of failing the query.
+    /// Semantic errors (parse, schema, unknown table) never qualify.
+    pub fn degradable(&self) -> bool {
+        matches!(
+            self,
+            CubrickError::ShardNotOwned { .. }
+                | CubrickError::ShardLoading { .. }
+                | CubrickError::PartitionUnavailable { .. }
+                | CubrickError::HostBlacklisted { .. }
+                | CubrickError::ShardTimeout { .. }
+                | CubrickError::AllReplicasUnavailable { .. }
         )
     }
 }

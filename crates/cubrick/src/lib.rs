@@ -36,12 +36,16 @@
 //!   memory monitor, answers partition queries.
 //! * [`repartition`] — dynamic re-partitioning when partitions outgrow
 //!   their size threshold (§IV-B).
+//! * [`admission`] — multi-tenant QoS admission control: per-class
+//!   weighted slot reservation, bounded deadline queues, shed-or-queue
+//!   on overload (the LinkedIn OLAP-resilience serving layer).
 //! * [`proxy`] — the stateless query proxy: region choice, retries,
 //!   blacklisting, admission control, partition-count cache and
 //!   coordinator randomization (§IV-C, §IV-D).
 //! * [`coordinator`] — partial-result merging performed by the query
 //!   coordinator node.
 
+pub mod admission;
 pub mod brick;
 pub mod catalog;
 pub mod compression;

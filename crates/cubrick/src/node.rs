@@ -142,6 +142,18 @@ struct ShardState {
     loading: bool,
 }
 
+/// A node's relationship to one shard, as seen by an arriving sub-query
+/// (see [`CubrickNode::probe_shard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardProbe {
+    /// The node owns the shard.
+    pub owns: bool,
+    /// The shard's data is loaded and servable.
+    pub ready: bool,
+    /// The node is gracefully forwarding the shard to a new owner.
+    pub forward: Option<HostId>,
+}
+
 /// The Cubrick server process on one host.
 pub struct CubrickNode {
     config: NodeConfig,
@@ -205,6 +217,17 @@ impl CubrickNode {
 
     pub fn is_forwarding(&self, shard: u64) -> Option<HostId> {
         self.forwarding.get(&shard).copied()
+    }
+
+    /// One-shot snapshot of this node's relationship to `shard` — what
+    /// the query driver needs to decide between serving, forwarding, and
+    /// the typed stale-cache errors, read under a single borrow.
+    pub fn probe_shard(&self, shard: u64) -> ShardProbe {
+        ShardProbe {
+            owns: self.owns_shard(shard),
+            ready: self.shard_ready(shard),
+            forward: self.is_forwarding(shard),
+        }
     }
 
     /// Reset the process state after a crash-and-restart (transient host

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use scalewall_shard_manager::{HostId, Region};
 use scalewall_sim::{SimDuration, SimRng, SimTime};
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, QosClass};
 use crate::error::{CubrickError, CubrickResult};
 
 /// The coordinator-selection strategies Cubrick iterated through (§IV-C).
@@ -28,6 +29,11 @@ pub enum CoordinatorStrategy {
     QueryThenRandom,
     /// 4. Cached partition count, random partition — production strategy.
     CachedRandom,
+    /// 5. QoS extension: cached count, power-of-two-choices over the
+    /// proxy's per-coordinator in-flight depth (pick the less loaded of
+    /// two random partitions). Costs exactly what `CachedRandom` costs;
+    /// the depth signal is proxy-local, no extra round trip.
+    QueueAwareTwoChoice,
 }
 
 /// The outcome of coordinator selection, including the costs the strategy
@@ -46,12 +52,22 @@ pub struct CoordinatorChoice {
 pub struct ProxyConfig {
     /// Retries across regions for retryable errors.
     pub max_retries: u32,
-    /// Admission control: concurrent queries admitted.
+    /// Admission control: concurrent queries admitted. Ignored when
+    /// `admission` is set (the controller's `total_slots` rules).
     pub max_concurrent_queries: usize,
     /// Consecutive failures before a host is blacklisted.
     pub blacklist_threshold: u32,
     /// How long a blacklisted host stays out of rotation.
     pub blacklist_ttl: SimDuration,
+    /// QoS admission controller. `None` builds the legacy flat gate
+    /// (`AdmissionConfig::flat(max_concurrent_queries)`), which behaves
+    /// byte-identically to the pre-QoS `admit()`/`complete()` pair.
+    pub admission: Option<AdmissionConfig>,
+    /// Depth-aware region spill: prefer the client's region unless its
+    /// in-flight depth exceeds the least-loaded alternative by more
+    /// than this. Depths are only tracked by the QoS experiment loop,
+    /// so legacy callers (all depths zero) never spill.
+    pub region_spill_threshold: u32,
 }
 
 impl Default for ProxyConfig {
@@ -61,6 +77,8 @@ impl Default for ProxyConfig {
             max_concurrent_queries: 10_000,
             blacklist_threshold: 3,
             blacklist_ttl: SimDuration::from_mins(5),
+            admission: None,
+            region_spill_threshold: 8,
         }
     }
 }
@@ -91,17 +109,32 @@ pub struct CubrickProxy {
     /// metadata, never by a dedicated round trip.
     partition_cache: BTreeMap<String, u32>,
     blacklist: BTreeMap<HostId, BlacklistEntry>,
-    active_queries: usize,
+    /// The QoS admission controller (a flat single-pool gate unless
+    /// `ProxyConfig::admission` opts into classful mode).
+    admission: AdmissionController,
+    /// In-flight queries currently served per region (maintained by the
+    /// QoS experiment loop via `note_region_start`/`note_region_done`).
+    region_inflight: BTreeMap<u32, u32>,
+    /// In-flight queries per (table, coordinator partition) — the
+    /// `QueueAwareTwoChoice` depth signal.
+    coordinator_inflight: BTreeMap<(String, u32), u32>,
     pub stats: ProxyStats,
 }
 
 impl CubrickProxy {
     pub fn new(config: ProxyConfig) -> Self {
+        let admission = AdmissionController::new(
+            config
+                .admission
+                .unwrap_or(AdmissionConfig::flat(config.max_concurrent_queries)),
+        );
         CubrickProxy {
             config,
             partition_cache: BTreeMap::new(),
             blacklist: BTreeMap::new(),
-            active_queries: 0,
+            admission,
+            region_inflight: BTreeMap::new(),
+            coordinator_inflight: BTreeMap::new(),
             stats: ProxyStats::default(),
         }
     }
@@ -113,51 +146,117 @@ impl CubrickProxy {
     // ------------------------------------------------------------- admission
 
     /// Admit a query or reject it. Callers must pair every successful
-    /// `admit` with a `complete`.
+    /// `admit` with a `complete`. Legacy entry point: class defaults to
+    /// `Interactive`, which in the flat (default) controller is
+    /// indistinguishable from the old counter gate.
     pub fn admit(&mut self) -> CubrickResult<()> {
-        if self.active_queries >= self.config.max_concurrent_queries {
-            self.stats.rejected_admission += 1;
-            return Err(CubrickError::AdmissionRejected {
-                detail: format!("{} queries in flight", self.active_queries),
-            });
+        self.admit_class(QosClass::Interactive)
+    }
+
+    /// Class-aware admit: `Admit` or `Shed` only — queueing decisions
+    /// are made by `offer()` callers that can park a query (the
+    /// experiment event loop); the synchronous query path cannot wait.
+    pub fn admit_class(&mut self, class: QosClass) -> CubrickResult<()> {
+        let in_flight = self.admission.total_in_flight();
+        match self.admission.offer(class, SimTime::ZERO) {
+            AdmissionDecision::Admit => {
+                self.stats.queries += 1;
+                Ok(())
+            }
+            AdmissionDecision::Queued { ticket, .. } => {
+                // The synchronous path cannot park; treat as shed.
+                self.admission.cancel_queued(ticket);
+                self.stats.rejected_admission += 1;
+                Err(CubrickError::AdmissionRejected {
+                    detail: format!("{in_flight} queries in flight"),
+                })
+            }
+            AdmissionDecision::Shed => {
+                self.stats.rejected_admission += 1;
+                Err(CubrickError::AdmissionRejected {
+                    detail: format!("{in_flight} queries in flight"),
+                })
+            }
         }
-        self.active_queries += 1;
-        self.stats.queries += 1;
-        Ok(())
     }
 
     pub fn complete(&mut self) {
-        self.active_queries = self.active_queries.saturating_sub(1);
+        self.complete_class(QosClass::Interactive);
+    }
+
+    pub fn complete_class(&mut self, class: QosClass) {
+        self.admission.complete(class);
     }
 
     pub fn active_queries(&self) -> usize {
-        self.active_queries
+        self.admission.total_in_flight()
+    }
+
+    /// Direct access to the admission controller (the QoS experiment
+    /// drives `offer`/`next_runnable`/`expire_due` through this).
+    pub fn admission_mut(&mut self) -> &mut AdmissionController {
+        &mut self.admission
+    }
+
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
     }
 
     // --------------------------------------------------------------- regions
 
     /// Pick the region to dispatch to: the client's own region when
-    /// available, otherwise the first available other region
-    /// (deterministic order). Proximity first, then availability (§IV-D).
+    /// available and not overloaded, otherwise the least-loaded
+    /// available other region (depth ties broken by region id).
+    /// Proximity first, then availability (§IV-D); the depth-aware
+    /// spill is the QoS extension — with no depth tracking (all zero,
+    /// every legacy caller) the choice is byte-identical to the old
+    /// proximity-then-lowest-id rule.
     pub fn choose_region(
         &self,
         regions: &[(Region, bool)],
         client_region: Region,
         exclude: &[Region],
     ) -> CubrickResult<Region> {
-        if let Some(&(r, _)) = regions
+        let candidates: Vec<Region> = {
+            let mut v: Vec<Region> = regions
+                .iter()
+                .filter(|&&(r, up)| up && !exclude.contains(&r))
+                .map(|&(r, _)| r)
+                .collect();
+            v.sort_by_key(|r| r.0);
+            v
+        };
+        let least = candidates
             .iter()
-            .find(|&&(r, up)| r == client_region && up && !exclude.contains(&r))
-        {
-            return Ok(r);
+            .copied()
+            .min_by_key(|r| (self.region_depth(*r), r.0));
+        if candidates.contains(&client_region) {
+            let client_depth = self.region_depth(client_region);
+            let spill_floor = least.map(|r| self.region_depth(r)).unwrap_or(0);
+            if client_depth <= spill_floor.saturating_add(self.config.region_spill_threshold) {
+                return Ok(client_region);
+            }
         }
-        let mut sorted: Vec<&(Region, bool)> = regions.iter().collect();
-        sorted.sort_by_key(|(r, _)| r.0);
-        sorted
-            .into_iter()
-            .find(|&&(r, up)| up && !exclude.contains(&r))
-            .map(|&(r, _)| r)
-            .ok_or(CubrickError::NoAvailableRegion)
+        least.ok_or(CubrickError::NoAvailableRegion)
+    }
+
+    /// In-flight depth of one region (0 unless the QoS loop tracks it).
+    pub fn region_depth(&self, region: Region) -> u32 {
+        self.region_inflight.get(&region.0).copied().unwrap_or(0)
+    }
+
+    /// Note a query starting/finishing in `region` (QoS loop bookkeeping).
+    pub fn note_region_start(&mut self, region: Region) {
+        *self.region_inflight.entry(region.0).or_insert(0) += 1;
+    }
+
+    pub fn note_region_done(&mut self, region: Region) {
+        if let Some(d) = self.region_inflight.get_mut(&region.0) {
+            *d = d.saturating_sub(1);
+            if *d == 0 {
+                self.region_inflight.remove(&region.0);
+            }
+        }
     }
 
     // ---------------------------------------------------------- coordinators
@@ -210,6 +309,62 @@ impl CubrickProxy {
                     }
                 }
             },
+            CoordinatorStrategy::QueueAwareTwoChoice => {
+                let (count, extra_roundtrip) = match self.partition_cache.get(table) {
+                    Some(&cached) => {
+                        self.stats.cache_hits += 1;
+                        (cached, false)
+                    }
+                    None => {
+                        self.stats.cache_misses += 1;
+                        (actual_partitions, true)
+                    }
+                };
+                let n = count.max(1) as u64;
+                let a = rng.below(n) as u32;
+                let b = rng.below(n) as u32;
+                let partition = if self.coordinator_depth(table, b) < self.coordinator_depth(table, a)
+                {
+                    b
+                } else {
+                    a
+                };
+                CoordinatorChoice {
+                    partition,
+                    extra_roundtrip,
+                    extra_hop: false,
+                }
+            }
+        }
+    }
+
+    /// In-flight depth of one coordinator partition (the
+    /// `QueueAwareTwoChoice` signal; 0 unless the QoS loop tracks it).
+    pub fn coordinator_depth(&self, table: &str, partition: u32) -> u32 {
+        self.coordinator_inflight
+            .get(&(table.to_string(), partition))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Note a query starting/finishing on a coordinator (QoS loop
+    /// bookkeeping, paired like `note_region_start`/`done`).
+    pub fn note_coordinator_start(&mut self, table: &str, partition: u32) {
+        *self
+            .coordinator_inflight
+            .entry((table.to_string(), partition))
+            .or_insert(0) += 1;
+    }
+
+    pub fn note_coordinator_done(&mut self, table: &str, partition: u32) {
+        if let Some(d) = self
+            .coordinator_inflight
+            .get_mut(&(table.to_string(), partition))
+        {
+            *d = d.saturating_sub(1);
+            if *d == 0 {
+                self.coordinator_inflight.remove(&(table.to_string(), partition));
+            }
         }
     }
 
@@ -227,16 +382,18 @@ impl CubrickProxy {
     // ------------------------------------------------------------ blacklists
 
     /// Record a host-attributed failure; blacklists the host once the
-    /// threshold is crossed.
+    /// threshold is crossed. A host whose blacklist TTL has lapsed but
+    /// keeps failing is re-blacklisted (the old `is_none()` guard made
+    /// an expired entry permanent immunity: once `blacklisted_until`
+    /// held any stale time, no further streak could ever re-arm it).
     pub fn record_host_failure(&mut self, host: HostId, now: SimTime) {
         let entry = self.blacklist.entry(host).or_insert(BlacklistEntry {
             consecutive_failures: 0,
             blacklisted_until: None,
         });
         entry.consecutive_failures += 1;
-        if entry.consecutive_failures >= self.config.blacklist_threshold
-            && entry.blacklisted_until.is_none()
-        {
+        let currently_blacklisted = entry.blacklisted_until.is_some_and(|until| now < until);
+        if entry.consecutive_failures >= self.config.blacklist_threshold && !currently_blacklisted {
             entry.blacklisted_until = Some(now + self.config.blacklist_ttl);
             self.stats.hosts_blacklisted += 1;
         }
@@ -404,6 +561,143 @@ mod tests {
         p.record_host_failure(h, t0);
         p.record_host_success(h);
         assert!(!p.is_blacklisted(h, t0));
+    }
+
+    #[test]
+    fn blacklist_expiry_at_sim_clock_boundary() {
+        // `is_blacklisted` is exclusive at the boundary: a host whose TTL
+        // ends exactly *now* is already back in rotation. Pinned because
+        // an off-by-one here silently changes every fault-replay
+        // fingerprint.
+        let mut p = proxy();
+        let h = HostId(3);
+        let t0 = SimTime::from_secs(50);
+        for _ in 0..3 {
+            p.record_host_failure(h, t0);
+        }
+        let until = t0 + p.config().blacklist_ttl;
+        assert!(p.is_blacklisted(h, SimTime::from_nanos(until.as_nanos() - 1)));
+        assert!(!p.is_blacklisted(h, until), "boundary is exclusive");
+        assert!(!p.is_blacklisted(h, until + SimDuration::from_nanos(1)));
+    }
+
+    #[test]
+    fn expired_blacklist_rearms_on_continued_failures() {
+        // Regression: the old `is_none()` guard made one lapsed
+        // blacklist permanent immunity — the stale `blacklisted_until`
+        // blocked every future re-arm while the failure streak grew
+        // unbounded.
+        let mut p = proxy();
+        let h = HostId(7);
+        let t0 = SimTime::from_secs(100);
+        for _ in 0..3 {
+            p.record_host_failure(h, t0);
+        }
+        assert!(p.is_blacklisted(h, t0));
+        assert_eq!(p.stats.hosts_blacklisted, 1);
+        // TTL lapses; the host is probed again and still fails.
+        let after = t0 + p.config().blacklist_ttl + SimDuration::from_secs(1);
+        assert!(!p.is_blacklisted(h, after));
+        p.record_host_failure(h, after);
+        assert!(
+            p.is_blacklisted(h, after),
+            "a still-failing host goes straight back on the blacklist"
+        );
+        assert_eq!(p.stats.hosts_blacklisted, 2);
+        // And a success still clears everything.
+        p.record_host_success(h);
+        assert!(!p.is_blacklisted(h, after));
+    }
+
+    #[test]
+    fn depth_aware_region_spill() {
+        let mut p = CubrickProxy::new(ProxyConfig {
+            region_spill_threshold: 2,
+            ..Default::default()
+        });
+        let regions = [(Region(0), true), (Region(1), true), (Region(2), true)];
+        // No depth tracked: client region wins (legacy behaviour).
+        assert_eq!(p.choose_region(&regions, Region(0), &[]).unwrap(), Region(0));
+        // Client region loaded but within the spill threshold: stays.
+        for _ in 0..2 {
+            p.note_region_start(Region(0));
+        }
+        assert_eq!(p.choose_region(&regions, Region(0), &[]).unwrap(), Region(0));
+        // One more in-flight query pushes it past threshold: spill to the
+        // least-loaded alternative (ties by id → region 1).
+        p.note_region_start(Region(0));
+        assert_eq!(p.choose_region(&regions, Region(0), &[]).unwrap(), Region(1));
+        // Alternatives load up too: spill target follows the min depth.
+        for _ in 0..5 {
+            p.note_region_start(Region(1));
+        }
+        assert_eq!(p.choose_region(&regions, Region(0), &[]).unwrap(), Region(2));
+        // Draining region 0 restores the proximity preference.
+        for _ in 0..3 {
+            p.note_region_done(Region(0));
+        }
+        assert_eq!(p.choose_region(&regions, Region(0), &[]).unwrap(), Region(0));
+    }
+
+    #[test]
+    fn queue_aware_two_choice_prefers_shallow_coordinator() {
+        let mut p = proxy();
+        let mut rng = SimRng::new(11);
+        p.record_result_metadata("t", 8);
+        // Pile depth onto every partition except 5: the two-choice pick
+        // must never select a deeper partition than its alternative.
+        for part in 0..8u32 {
+            if part != 5 {
+                for _ in 0..4 {
+                    p.note_coordinator_start("t", part);
+                }
+            }
+        }
+        for _ in 0..100 {
+            let c = p.choose_coordinator("t", CoordinatorStrategy::QueueAwareTwoChoice, 8, &mut rng);
+            assert!(!c.extra_roundtrip && !c.extra_hop, "cached: no extra cost");
+            assert!(c.partition < 8);
+        }
+        // Statistical check: partition 5 is picked whenever it is one of
+        // the two candidates (~1 - (7/8)^2 ≈ 23% of draws).
+        let picks_5 = (0..400)
+            .filter(|_| {
+                p.choose_coordinator("t", CoordinatorStrategy::QueueAwareTwoChoice, 8, &mut rng)
+                    .partition
+                    == 5
+            })
+            .count();
+        assert!(picks_5 > 50, "shallow coordinator attracts load: {picks_5}");
+        // Cold cache still pays the metadata round trip.
+        let c = p.choose_coordinator("u", CoordinatorStrategy::QueueAwareTwoChoice, 4, &mut rng);
+        assert!(c.extra_roundtrip);
+        // Depth bookkeeping drains without going negative.
+        for part in 0..8u32 {
+            for _ in 0..10 {
+                p.note_coordinator_done("t", part);
+            }
+            assert_eq!(p.coordinator_depth("t", part), 0);
+        }
+    }
+
+    #[test]
+    fn classful_admission_sheds_batch_first() {
+        use crate::admission::{AdmissionConfig, QosClass};
+        let mut p = CubrickProxy::new(ProxyConfig {
+            admission: Some(AdmissionConfig::qos(4)),
+            ..Default::default()
+        });
+        // Batch may hold only its weight-share cap (⌈0.15 × 4⌉ = 1 slot);
+        // the synchronous path cannot park, so past the cap it sheds.
+        assert!(p.admit_class(QosClass::Batch).is_ok());
+        assert!(p.admit_class(QosClass::Batch).is_err(), "batch shed first");
+        // Interactive's headroom is untouched.
+        assert!(p.admit_class(QosClass::Interactive).is_ok());
+        assert!(p.admit_class(QosClass::Interactive).is_ok());
+        p.complete_class(QosClass::Batch);
+        p.complete_class(QosClass::Interactive);
+        p.complete_class(QosClass::Interactive);
+        assert_eq!(p.active_queries(), 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub use agg::{AggFunc, AggSpec, AggState};
 pub use exec::execute_partition;
 pub use expr::{PredOp, Predicate};
 pub use parser::parse_query;
-pub use result::{PartialResult, QueryOutput, ResultRow};
+pub use result::{Coverage, PartialResult, QueryOutput, ResultRow, ShardState, ShardStatus};
 
 /// A logical query: aggregations over one table, conjunctive filters,
 /// optional group-by, optional top-N (`ORDER BY ... LIMIT n`).

@@ -103,6 +103,68 @@ impl PartialResult {
     }
 }
 
+/// Why a shard's sub-query did (or did not) contribute to a degraded
+/// result (the typed per-shard status of best-effort serving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// The sub-query answered and its partial was merged.
+    Answered,
+    /// The sub-query exceeded its per-shard deadline.
+    TimedOut,
+    /// The shard's owner was unreachable, not owning, or still loading.
+    Unavailable,
+    /// The resolved host was blacklisted at the proxy; never contacted.
+    Blacklisted,
+}
+
+/// Per-shard status of a (possibly degraded) query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    pub partition: u32,
+    pub state: ShardState,
+}
+
+/// The coverage contract of a degraded-mode answer: which partitions
+/// contributed, and why the rest are missing. `coverage_fraction` is
+/// the headline number a client checks against its accuracy budget.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Coverage {
+    /// One entry per planned partition, plan order.
+    pub per_shard: Vec<ShardStatus>,
+}
+
+impl Coverage {
+    pub fn push(&mut self, partition: u32, state: ShardState) {
+        self.per_shard.push(ShardStatus { partition, state });
+    }
+
+    /// Partitions that answered.
+    pub fn answered(&self) -> usize {
+        self.per_shard
+            .iter()
+            .filter(|s| s.state == ShardState::Answered)
+            .count()
+    }
+
+    pub fn total(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Fraction of planned partitions that answered (1.0 for an empty
+    /// plan: nothing was missing).
+    pub fn fraction(&self) -> f64 {
+        if self.per_shard.is_empty() {
+            1.0
+        } else {
+            self.answered() as f64 / self.total() as f64
+        }
+    }
+
+    pub fn complete(&self) -> bool {
+        self.answered() == self.total()
+    }
+}
+
 /// One output row: group key values followed by finalized aggregates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultRow {
@@ -201,6 +263,28 @@ mod tests {
         // Grouped output has no scalar.
         let p = partial_with(vec![(vec![GroupVal::Int(1)], 1, 1.0)]);
         assert_eq!(p.finalize().scalar(), None);
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let mut c = Coverage::default();
+        assert_eq!(c.fraction(), 1.0, "empty plan is fully covered");
+        c.push(0, ShardState::Answered);
+        c.push(1, ShardState::TimedOut);
+        c.push(2, ShardState::Blacklisted);
+        c.push(3, ShardState::Answered);
+        assert_eq!(c.answered(), 2);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.fraction(), 0.5);
+        assert!(!c.complete());
+        let full = Coverage {
+            per_shard: vec![ShardStatus {
+                partition: 0,
+                state: ShardState::Answered,
+            }],
+        };
+        assert!(full.complete());
+        assert_eq!(full.fraction(), 1.0);
     }
 
     #[test]

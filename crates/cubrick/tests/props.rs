@@ -296,3 +296,123 @@ fn dictionary_encode_decode_bijective() {
         },
     );
 }
+
+// ------------------------------------------------- proxy blacklist / retries
+
+use cubrick::error::CubrickError;
+use cubrick::proxy::{CubrickProxy, ProxyConfig};
+use scalewall_shard_manager::HostId;
+use scalewall_sim::{SimDuration, SimTime};
+
+/// The proxy's blacklist follows its documented state machine exactly:
+/// a success wipes the host's record; each failure bumps a consecutive
+/// counter; reaching the threshold while not already blacklisted arms a
+/// TTL window that is exclusive at its upper boundary and re-arms on
+/// the first post-expiry failure at or past the threshold (ISSUE 10
+/// satellite: the retry-spin fix). Checked against an independent
+/// shadow model over arbitrary failure/success/probe schedules.
+#[test]
+fn blacklist_decisions_match_shadow_model() {
+    prop::check(
+        "blacklist_decisions_match_shadow_model",
+        |rng| {
+            gen::vec_with(rng, 1, 300, |r| {
+                // (advance nanos, event: 0 = failure, 1 = success, 2 = probe)
+                let gap = r.below(3_000_000_000);
+                let ev = if r.chance(0.6) {
+                    0u8
+                } else if r.chance(0.25) {
+                    1
+                } else {
+                    2
+                };
+                (gap, ev)
+            })
+        },
+        |schedule| {
+            let config = ProxyConfig::default();
+            let (threshold, ttl) = (config.blacklist_threshold, config.blacklist_ttl);
+            let mut proxy = CubrickProxy::new(config);
+            let host = HostId(7);
+            let mut now = SimTime::from_secs(1);
+            // Shadow model: (consecutive failures, blacklisted-until).
+            let mut failures = 0u32;
+            let mut until: Option<SimTime> = None;
+            for &(gap, ev) in schedule {
+                now = now + SimDuration::from_nanos(gap);
+                match ev {
+                    0 => {
+                        proxy.record_host_failure(host, now);
+                        failures += 1;
+                        let active = until.is_some_and(|u| now < u);
+                        if failures >= threshold && !active {
+                            until = Some(now + ttl);
+                        }
+                    }
+                    1 => {
+                        proxy.record_host_success(host);
+                        failures = 0;
+                        until = None;
+                    }
+                    _ => {}
+                }
+                let expected = until.is_some_and(|u| now < u);
+                assert_eq!(
+                    proxy.is_blacklisted(host, now),
+                    expected,
+                    "divergence at now={now:?} after {failures} failures (until {until:?})"
+                );
+                if let Some(u) = until {
+                    // The boundary is exclusive: at `until` the host is
+                    // already serviceable again.
+                    assert!(!proxy.is_blacklisted(host, u), "inclusive boundary at {u:?}");
+                }
+            }
+        },
+    );
+}
+
+/// `should_retry` spends the retry budget exactly: a retryable error is
+/// retried for attempts `0..max_retries` and never past them, a fatal
+/// error never, and every granted retry is counted in the stats.
+#[test]
+fn retry_budget_is_spent_exactly() {
+    prop::check(
+        "retry_budget_is_spent_exactly",
+        |rng| {
+            (
+                gen::usize_in(rng, 0, 6) as u32,
+                gen::usize_in(rng, 0, 12) as u32,
+                gen::any_bool(rng),
+            )
+        },
+        |&(max_retries, attempts, retryable)| {
+            let mut proxy = CubrickProxy::new(ProxyConfig {
+                max_retries,
+                ..Default::default()
+            });
+            let error = if retryable {
+                CubrickError::PartitionUnavailable {
+                    table: "t".into(),
+                    partition: 0,
+                }
+            } else {
+                CubrickError::Parse {
+                    detail: "x".into(),
+                    position: 0,
+                }
+            };
+            let mut granted = 0u64;
+            for attempt in 0..attempts {
+                let decision = proxy.should_retry(&error, attempt);
+                assert_eq!(
+                    decision,
+                    retryable && attempt < max_retries,
+                    "attempt {attempt} of budget {max_retries} (retryable {retryable})"
+                );
+                granted += u64::from(decision);
+            }
+            assert_eq!(proxy.stats.retries, granted, "every grant is counted");
+        },
+    );
+}

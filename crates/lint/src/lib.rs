@@ -74,15 +74,19 @@ pub const SIM_FACING_CRATES: &[&str] =
     &["sim", "cluster", "cubrick", "shard-manager", "discovery", "zk"];
 
 /// Hot-path files under the D7 panic-surface audit: the experiment
-/// engine, the event kernel, the replicated coordination plane, and the
-/// shard manager — the code that runs during failover, where a panic
-/// kills the experiment mid-replay.
+/// engine, the event kernel, the replicated coordination plane, the
+/// shard manager, the admission controller, and the partial-result
+/// merge — the code that runs during failover and overload, where a
+/// panic kills the experiment mid-replay (or melts the serving plane
+/// exactly when it is shedding load).
 pub const HOT_PATHS: &[&str] = &[
     "crates/sim/src/event.rs",
     "crates/cluster/src/experiment.rs",
     "crates/zk/src/replica.rs",
     "crates/zk/src/log.rs",
     "crates/shard-manager/src/server.rs",
+    "crates/cubrick/src/admission.rs",
+    "crates/cubrick/src/coordinator.rs",
 ];
 
 /// A lint rule identifier.

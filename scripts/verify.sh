@@ -31,7 +31,7 @@ export RUSTFLAGS="-D warnings"
 cargo build --release --offline
 
 lint_json="$(mktemp /tmp/scalewall-lint.XXXXXX.json)"
-trap 'rm -f "$lint_json" "${kernel_bench:-}" "${zk_bench:-}"' EXIT
+trap 'rm -f "$lint_json" "${kernel_bench:-}" "${zk_bench:-}" "${qos_bench:-}"' EXIT
 cargo run --release --offline -p scalewall-lint -- --workspace --json "$lint_json"
 cargo run --release --offline -p scalewall-lint -- --validate "$lint_json"
 
@@ -65,5 +65,15 @@ cargo test -q --offline -p scalewall-bench --bench event_kernel -- --validate "$
 cargo test -q --offline -p scalewall-bench --bench zk_replication -- --json "$zk_bench" >/dev/null
 cargo test -q --offline -p scalewall-bench --bench zk_replication -- --validate "$zk_bench"
 cargo test -q --offline -p scalewall-bench --bench zk_replication -- --validate "$PWD/BENCH_zk_replication.json"
+
+# QoS/SLA overload suite (ISSUE 10): the diurnal-load admission sweep
+# must not bit-rot (tiny smoke sweep, output dropped), and the qos_sla
+# bench smoke run plus the checked-in trajectory must stay
+# schema-valid.
+qos_bench="$(mktemp /tmp/scalewall-qos-sla.XXXXXX.json)"
+cargo run --release --offline -p scalewall-bench --bin fig_qos_sla -- --fast >/dev/null
+cargo test -q --offline -p scalewall-bench --bench qos_sla -- --json "$qos_bench" >/dev/null
+cargo test -q --offline -p scalewall-bench --bench qos_sla -- --validate "$qos_bench"
+cargo test -q --offline -p scalewall-bench --bench qos_sla -- --validate "$PWD/BENCH_qos_sla.json"
 
 echo "tier-1 verify: OK (offline)"

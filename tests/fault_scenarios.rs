@@ -352,6 +352,73 @@ fn zk_leader_partition_during_drain_storm() {
     );
 }
 
+/// **SM failover racing client watches** (ISSUE 10 satellite): a drain
+/// storm keeps region 1's shard manager busy mutating placement — every
+/// step fanning watch notifications out to clients — when the region's
+/// own coordination replicas crash mid-storm (`ZkNodeCrash`). The
+/// ensemble election races the in-flight drain migrations and the
+/// clients' watch re-registrations. Contract: the failover shows up as
+/// bounded `SessionMoved` reconnect churn (one re-handshake per session
+/// per election), no live session is expired into spurious failover
+/// migrations, the storm's admitted drains still complete, and the
+/// whole race — election order, watch delivery, migration schedule —
+/// replays bit-identically.
+#[test]
+fn sm_failover_races_client_watches() {
+    let script = FaultScript::new()
+        .with(
+            FaultKind::DrainStorm {
+                region: 1,
+                drains: 3,
+            },
+            hours(2),
+            SimDuration::from_hours(3),
+        )
+        .with(
+            FaultKind::ZkNodeCrash { region: 1 },
+            SimTime::from_secs(150 * 60),
+            SimDuration::from_hours(1),
+        );
+    let stats = check_scenario_with("sm_failover_races_client_watches", 0xFA017_0A, script, true);
+    assert_eq!(stats.fault_injections, 2);
+    assert_eq!(stats.fault_repairs, 2);
+    assert_eq!(stats.drains_requested, 3);
+    assert!(
+        stats.drains_requested - stats.drains_denied >= 1,
+        "the storm's admitted drains proceed through the failover"
+    );
+    assert!(
+        stats.zk_failovers >= 1,
+        "crashing region 1's replicas mid-storm must force an election, got {}",
+        stats.zk_failovers
+    );
+    assert!(
+        stats.zk_session_moves > 0,
+        "watch clients must re-handshake via SessionMoved after failover"
+    );
+    // Bounded churn: at most one reconnect per session per election
+    // (24 hosts + SM bookkeeping sessions per region, same bound as the
+    // leader-partition scenario).
+    assert!(
+        stats.zk_session_moves <= 64 * stats.zk_failovers.max(1),
+        "session moves ({}) exploded past one reconnect per session per election ({})",
+        stats.zk_session_moves,
+        stats.zk_failovers
+    );
+    // Zero spurious expiries: the election racing the drain's watch
+    // traffic must not declare any live host dead.
+    assert_eq!(
+        stats.failover_migrations, 0,
+        "failover racing client watches must not expire live sessions"
+    );
+    // Graceful drains + coordinator-only fault: client damage ~zero.
+    assert!(
+        stats.success_ratio() > 0.999,
+        "the race must stay invisible to traffic, got {:.4}",
+        stats.success_ratio()
+    );
+}
+
 /// The coordinator's rack alone dies (`ZkNodeCrash`): every replica
 /// homed in region 1 crashes, but application hosts are untouched.
 /// Ensembles whose leader lived there fail over; traffic never notices.
